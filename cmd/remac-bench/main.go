@@ -1,0 +1,43 @@
+// remac-bench regenerates the paper's evaluation tables and figures on the
+// simulated cluster.
+//
+// Usage:
+//
+//	remac-bench                     # run every experiment
+//	remac-bench -experiment fig9    # run one (table2, fig3a, fig3b, fig8a,
+//	                                # fig8b, fig9, fig10a, fig10b, fig11,
+//	                                # fig12, fig13, options)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"remac/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "", "experiment ID to run (default: all)")
+	flag.Parse()
+
+	ids := bench.IDs
+	if *experiment != "" {
+		if _, ok := bench.Experiments[*experiment]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %v\n", *experiment, bench.IDs)
+			os.Exit(2)
+		}
+		ids = []string{*experiment}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		table, err := bench.Experiments[id]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(table.String())
+		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

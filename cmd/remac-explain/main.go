@@ -1,0 +1,47 @@
+// remac-explain dumps the optimizer's view of a workload: the coordinate
+// system (Figure 4), every CSE/LSE option the block-wise search found, and
+// the combination the chosen strategy applied.
+//
+// Usage:
+//
+//	remac-explain -workload DFP -dataset cri2 -strategy adaptive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"remac"
+)
+
+func main() {
+	workload := flag.String("workload", "DFP", "workload: GD, DFP, BFGS, GNMF, PartialDFP")
+	dsName := flag.String("dataset", "cri2", "dataset name")
+	strategy := flag.String("strategy", "adaptive", "planning strategy")
+	estimator := flag.String("estimator", "MNC", "MD, MNC, Sample")
+	flag.Parse()
+
+	iterations := remac.WorkloadIterations(*workload)
+	ds, err := remac.LoadDataset(*dsName)
+	fatal(err)
+	inputs, err := ds.Inputs(*workload)
+	fatal(err)
+	script, err := remac.WorkloadScript(*workload, iterations)
+	fatal(err)
+
+	prog, err := remac.Compile(script, inputs, remac.Config{
+		Strategy:   remac.Strategy(*strategy),
+		Estimator:  remac.Estimator(*estimator),
+		Iterations: iterations,
+	})
+	fatal(err)
+	fmt.Print(prog.Explain())
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

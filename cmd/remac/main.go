@@ -1,0 +1,69 @@
+// remac runs a built-in workload on a built-in dataset under a chosen
+// planning strategy and reports the simulated execution profile.
+//
+// Usage:
+//
+//	remac -workload DFP -dataset cri2 -strategy adaptive -iterations 15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"remac"
+)
+
+func main() {
+	workload := flag.String("workload", "DFP", "workload: GD, DFP, BFGS, GNMF, PartialDFP")
+	dsName := flag.String("dataset", "cri2", "dataset: cri1..3, red1..3, zipf-0.0..zipf-2.8")
+	strategy := flag.String("strategy", "adaptive", "none, explicit, conservative, aggressive, automatic, adaptive")
+	estimator := flag.String("estimator", "MNC", "MD, MNC, Sample")
+	iterations := flag.Int("iterations", 0, "loop trip count (0 = workload default)")
+	singleNode := flag.Bool("single-node", false, "use the single-node cluster profile")
+	flag.Parse()
+
+	if *iterations == 0 {
+		*iterations = remac.WorkloadIterations(*workload)
+	}
+	ds, err := remac.LoadDataset(*dsName)
+	fatal(err)
+	inputs, err := ds.Inputs(*workload)
+	fatal(err)
+	script, err := remac.WorkloadScript(*workload, *iterations)
+	fatal(err)
+
+	clusterCfg := remac.DefaultCluster()
+	if *singleNode {
+		clusterCfg = remac.SingleNodeCluster()
+	}
+	prog, err := remac.Compile(script, inputs, remac.Config{
+		Strategy:   remac.Strategy(*strategy),
+		Estimator:  remac.Estimator(*estimator),
+		Cluster:    clusterCfg,
+		Iterations: *iterations,
+	})
+	fatal(err)
+
+	report, err := prog.Run()
+	fatal(err)
+
+	fmt.Printf("%s on %s, strategy %s, %d iterations\n", *workload, *dsName, *strategy, report.Iterations)
+	fmt.Printf("  compile             %10.3f s (real)\n", report.CompileSeconds)
+	fmt.Printf("  input partition     %10.1f s (simulated)\n", report.InputPartitionSeconds)
+	fmt.Printf("  execution           %10.1f s (simulated: %.1f compute + %.1f transmission)\n",
+		report.SimulatedSeconds-report.InputPartitionSeconds, report.ComputeSeconds, report.TransmitSeconds)
+	if keys := prog.SelectedKeys(); len(keys) > 0 {
+		fmt.Printf("  applied options     %v\n", keys)
+	}
+	for _, prim := range []string{"collect", "broadcast", "shuffle", "dfs"} {
+		fmt.Printf("  %-10s bytes    %10.2f GB\n", prim, report.BytesByPrimitive[prim]/(1<<30))
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

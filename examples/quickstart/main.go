@@ -1,0 +1,61 @@
+// Quickstart: compile a tiny DML-like script with ReMac's adaptive
+// elimination and inspect what the optimizer found and applied.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"remac"
+)
+
+const script = `
+#@symmetric H
+A = read("A")
+x = read("x")
+H = read("H")
+i = 0
+while (i < 10) {
+    # dᵀAᵀAd from the paper's introduction: the naive plan multiplies three
+    # times; reusing Ad (or hoisting AᵀA) eliminates redundant work.
+    v = as.scalar(t(x) %*% t(A) %*% A %*% x)
+    x = H %*% x - 0.001 * v * x
+    i = i + 1
+}
+`
+
+func main() {
+	// A modest synthetic dataset: the matrix is materialized at 2000×200
+	// but costed as if it were 20M×200 (the virtual dimensions).
+	a := remac.RandSparse(1, 2000, 200, 0.05)
+	inputs := map[string]remac.Input{
+		"A": {Data: a, VirtualRows: 20_000_000, VirtualCols: 200},
+		"x": {Data: remac.RandDense(2, 200, 1)},
+		"H": {Data: remac.Identity(200)},
+	}
+
+	prog, err := remac.Compile(script, inputs, remac.Config{
+		Strategy:   remac.Adaptive,
+		Iterations: 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("discovered elimination options:")
+	for _, o := range prog.Options() {
+		mark := "  "
+		if o.Selected {
+			mark = "=>"
+		}
+		fmt.Printf("  %s %-10s %-30s ×%d\n", mark, o.Kind, o.Key, o.Occurrences)
+	}
+
+	report, err := prog.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nran %d iterations in %.1f simulated seconds (%.1fs compute, %.1fs transmission)\n",
+		report.Iterations, report.SimulatedSeconds, report.ComputeSeconds, report.TransmitSeconds)
+	fmt.Printf("final v = %.6f\n", report.Values["v"].ScalarValue())
+}

@@ -1,0 +1,3 @@
+module remac
+
+go 1.22

@@ -1,0 +1,90 @@
+package altengine
+
+import (
+	"testing"
+
+	"remac/internal/algorithms"
+	"remac/internal/data"
+	"remac/internal/engine"
+	"remac/internal/sparsity"
+)
+
+func setup(t *testing.T) (map[string]sparsity.Meta, map[string]engine.Input) {
+	t.Helper()
+	ds := data.MustLoad("cri1")
+	ins := map[string]engine.Input{
+		"A":  {Data: ds.A, VRows: ds.VRows, VCols: ds.VCols},
+		"b":  {Data: ds.Label(), VRows: ds.VRows, VCols: 1},
+		"H0": {Data: ds.InitialH(), VRows: ds.VCols, VCols: ds.VCols},
+		"x0": {Data: ds.InitialX(), VRows: ds.VCols, VCols: 1},
+	}
+	metas := map[string]sparsity.Meta{}
+	for name, in := range ins {
+		metas[name] = sparsity.Virtualize(sparsity.MetaOf(in.Data), in.VRows, in.VCols)
+	}
+	return metas, ins
+}
+
+func TestKindString(t *testing.T) {
+	if PbdR.String() != "pbdR" || SciDB.String() != "SciDB" {
+		t.Fatal("names changed — Fig 11 output depends on them")
+	}
+}
+
+func TestAlternativeEnginesSlowerThanReMac(t *testing.T) {
+	metas, ins := setup(t)
+	prog := algorithms.MustProgram(algorithms.GD, 5)
+	pbdr, err := Run(PbdR, prog, metas, ins, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scidb, err := Run(SciDB, prog, metas, ins, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pbdr.Iterations != 5 || scidb.Iterations != 5 {
+		t.Fatal("iteration counts wrong")
+	}
+	if pbdr.ExecSeconds <= 0 || scidb.ExecSeconds <= 0 {
+		t.Fatal("no execution time")
+	}
+	// §6.5: pbdR and SciDB take hours for input partition (serial dense
+	// load); SystemDS/ReMac take minutes.
+	if pbdr.InputPartitionSeconds < 600 {
+		t.Errorf("pbdR input partition %.0fs, expected serial-load hours scale", pbdr.InputPartitionSeconds)
+	}
+	if scidb.InputPartitionSeconds <= pbdr.InputPartitionSeconds {
+		t.Error("SciDB's redimension should cost more than pbdR's load")
+	}
+}
+
+func TestDenseOnlyPenalizesSparseData(t *testing.T) {
+	// pbdR treats sparse matrices as dense: running on cri2 (0.45% nnz)
+	// must cost like a dense matrix of the same shape.
+	dsSparse := data.MustLoad("cri2")
+	ins := map[string]engine.Input{
+		"A":  {Data: dsSparse.A, VRows: dsSparse.VRows, VCols: dsSparse.VCols},
+		"b":  {Data: dsSparse.Label(), VRows: dsSparse.VRows, VCols: 1},
+		"H0": {Data: dsSparse.InitialH(), VRows: dsSparse.VCols, VCols: dsSparse.VCols},
+		"x0": {Data: dsSparse.InitialX(), VRows: dsSparse.VCols, VCols: 1},
+	}
+	metas := map[string]sparsity.Meta{}
+	for name, in := range ins {
+		metas[name] = sparsity.Virtualize(sparsity.MetaOf(in.Data), in.VRows, in.VCols)
+	}
+	prog := algorithms.MustProgram(algorithms.GD, 3)
+	res, err := Run(PbdR, prog, metas, ins, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense 58.4M×8.7K is ~4TB; the serial input partition alone must be
+	// enormous compared to the dense-but-small cri1.
+	metas1, ins1 := setup(t)
+	res1, err := Run(PbdR, algorithms.MustProgram(algorithms.GD, 3), metas1, ins1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InputPartitionSeconds <= res1.InputPartitionSeconds {
+		t.Error("dense-materialized cri2 should load far slower than cri1")
+	}
+}

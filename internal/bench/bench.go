@@ -1,0 +1,228 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§6) on the simulated cluster. Each experiment returns a
+// Table whose rows mirror the series the paper plots; cmd/remac-bench
+// renders them as text, and the repository's EXPERIMENTS.md records
+// paper-vs-measured for each.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"remac/internal/algorithms"
+	"remac/internal/cluster"
+	"remac/internal/data"
+	"remac/internal/engine"
+	"remac/internal/opt"
+	"remac/internal/sparsity"
+)
+
+// Table is one experiment's output: labeled rows of named measurements.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    []Row
+	// Notes document deviations or caps (e.g. tree-wise deadline).
+	Notes []string
+}
+
+// Row is one labeled series point.
+type Row struct {
+	Label  string
+	Values map[string]float64
+	// Text carries non-numeric cells (e.g. "timeout").
+	Text map[string]string
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "%-34s", "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%16s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-34s", r.Label)
+		for _, c := range t.Columns {
+			if txt, ok := r.Text[c]; ok {
+				fmt.Fprintf(&b, "%16s", txt)
+			} else if v, ok := r.Values[c]; ok {
+				fmt.Fprintf(&b, "%16s", formatCell(v))
+			} else {
+				fmt.Fprintf(&b, "%16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// formatCell renders a measurement compactly: small magnitudes keep
+// significant digits (sparsities, milliseconds), large ones two decimals.
+func formatCell(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	if av != 0 && av < 0.01 {
+		return fmt.Sprintf("%.3g", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// runCfg describes one measured run.
+type runCfg struct {
+	alg        algorithms.Name
+	dataset    string
+	strategy   opt.Strategy
+	estimator  sparsity.Estimator
+	combiner   opt.Combiner
+	iterations int
+	cluster    cluster.Config
+	manualKeys []string
+}
+
+// runOut is the measurement of one run.
+type runOut struct {
+	ExecSec      float64 // simulated execution minus input partition
+	PartitionSec float64
+	CompileSec   float64
+	ComputeSec   float64
+	TransmitSec  float64
+	WorkerShares []float64
+	Selected     []string
+}
+
+var (
+	dsMu    sync.Mutex
+	dsCache = map[string]*data.Dataset{}
+)
+
+func dataset(name string) *data.Dataset {
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	if d, ok := dsCache[name]; ok {
+		return d
+	}
+	d := data.MustLoad(name)
+	dsCache[name] = d
+	return d
+}
+
+// inputsFor builds engine inputs and compile metas for a workload.
+func inputsFor(alg algorithms.Name, ds *data.Dataset) (map[string]engine.Input, map[string]sparsity.Meta) {
+	ins := map[string]engine.Input{}
+	metas := map[string]sparsity.Meta{}
+	add := func(name string, in engine.Input) {
+		ins[name] = in
+		metas[name] = sparsity.Virtualize(sparsity.MetaOf(in.Data), in.VRows, in.VCols)
+	}
+	if alg == algorithms.GNMF {
+		w, h := ds.GNMFFactors(10)
+		add("V", engine.Input{Data: ds.A, VRows: ds.VRows, VCols: ds.VCols})
+		add("W0", engine.Input{Data: w, VRows: ds.VRows, VCols: 10})
+		add("H0", engine.Input{Data: h, VRows: 10, VCols: ds.VCols})
+		return ins, metas
+	}
+	add("A", engine.Input{Data: ds.A, VRows: ds.VRows, VCols: ds.VCols})
+	add("H0", engine.Input{Data: ds.InitialH(), VRows: ds.VCols, VCols: ds.VCols})
+	add("x0", engine.Input{Data: ds.InitialX(), VRows: ds.VCols, VCols: 1})
+	if alg != algorithms.PartialDFP {
+		add("b", engine.Input{Data: ds.Label(), VRows: ds.VRows, VCols: 1})
+	}
+	return ins, metas
+}
+
+// runOne executes one measured configuration.
+func runOne(cfg runCfg) (*runOut, error) {
+	if cfg.iterations == 0 {
+		cfg.iterations = algorithms.DefaultIterations(cfg.alg)
+	}
+	if cfg.cluster.Nodes == 0 {
+		cfg.cluster = cluster.DefaultConfig()
+	}
+	if cfg.estimator == nil {
+		cfg.estimator = sparsity.MNC{}
+	}
+	ds := dataset(cfg.dataset)
+	ins, metas := inputsFor(cfg.alg, ds)
+	prog := algorithms.MustProgram(cfg.alg, cfg.iterations)
+	compiled, err := opt.Compile(prog, metas, opt.Config{
+		Strategy:   cfg.strategy,
+		Estimator:  cfg.estimator,
+		Combiner:   cfg.combiner,
+		Cluster:    cfg.cluster,
+		Iterations: cfg.iterations,
+		ManualKeys: cfg.manualKeys,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%v/%s/%v: %w", cfg.alg, cfg.dataset, cfg.strategy, err)
+	}
+	res, err := engine.Run(compiled, ins)
+	if err != nil {
+		return nil, fmt.Errorf("%v/%s/%v: %w", cfg.alg, cfg.dataset, cfg.strategy, err)
+	}
+	out := &runOut{
+		ExecSec:      res.Stats.TotalTime() - res.InputPartitionSec,
+		PartitionSec: res.InputPartitionSec,
+		CompileSec:   res.CompileSec,
+		ComputeSec:   res.Stats.ComputeTime,
+		TransmitSec:  res.Stats.TransmitTime,
+	}
+	total := 0.0
+	for _, b := range res.Stats.WorkerBytes {
+		total += b
+	}
+	if total > 0 {
+		for _, b := range res.Stats.WorkerBytes {
+			out.WorkerShares = append(out.WorkerShares, b/total)
+		}
+	}
+	if compiled.Decision != nil {
+		out.Selected = compiled.Decision.Keys()
+	}
+	sort.Strings(out.Selected)
+	return out, nil
+}
+
+// Experiments maps experiment IDs to their runners.
+var Experiments = map[string]func() (*Table, error){
+	"table2":  Table2,
+	"fig3a":   func() (*Table, error) { return Fig3(false) },
+	"fig3b":   func() (*Table, error) { return Fig3(true) },
+	"fig8a":   Fig8a,
+	"fig8b":   Fig8b,
+	"fig9":    Fig9,
+	"fig10a":  Fig10a,
+	"fig10b":  Fig10b,
+	"fig11":   Fig11,
+	"fig12":   Fig12,
+	"fig13":   Fig13,
+	"options": OptionCensus,
+}
+
+// IDs lists experiment IDs in presentation order.
+var IDs = []string{"table2", "fig3a", "fig3b", "fig8a", "fig8b", "fig9", "fig10a", "fig10b", "fig11", "fig12", "fig13", "options"}
+
+// Table2 reports the dataset statistics.
+func Table2() (*Table, error) {
+	t := &Table{ID: "Table 2", Title: "Dataset statistics (virtual scale)",
+		Columns: []string{"rows(M)", "cols", "sparsity", "GB"}}
+	for _, r := range data.Table2() {
+		t.Rows = append(t.Rows, Row{Label: r.Dataset, Values: map[string]float64{
+			"rows(M)":  float64(r.Rows) / 1e6,
+			"cols":     float64(r.Cols),
+			"sparsity": r.Sparsity,
+			"GB":       r.FootprintGB,
+		}})
+	}
+	return t, nil
+}

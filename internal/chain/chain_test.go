@@ -1,0 +1,345 @@
+package chain
+
+import (
+	"strings"
+	"testing"
+
+	"remac/internal/lang"
+	"remac/internal/plan"
+	"remac/internal/sparsity"
+)
+
+type res map[string]sparsity.Meta
+
+func (r res) MetaFor(sym string) (sparsity.Meta, bool) {
+	m, ok := r[strings.SplitN(sym, "#", 2)[0]]
+	return m, ok
+}
+func (r res) IsSymmetric(string) bool { return false }
+
+func dfpResolver() res {
+	return res{
+		"A": sparsity.MetaDims(1000, 50, 0.1),
+		"b": sparsity.MetaDims(1000, 1, 1),
+		"H": sparsity.MetaDims(50, 50, 1),
+		"x": sparsity.MetaDims(50, 1, 1),
+		"i": sparsity.MetaDims(1, 1, 1),
+	}
+}
+
+const dfpSrc = `
+#@symmetric H
+A = read("A")
+b = read("b")
+H = read("H")
+x = read("x")
+i = 0
+while (i < 3) {
+    g = t(A) %*% (A %*% x - b)
+    d = H %*% g
+    H = H - (H %*% t(A) %*% A %*% d %*% t(d) %*% t(A) %*% A %*% H) / as.scalar(t(d) %*% t(A) %*% A %*% H %*% t(A) %*% A %*% d) + (d %*% t(d)) / as.scalar(2 * (t(d) %*% t(A) %*% A %*% d))
+    x = x - 0.1 * d
+    i = i + 1
+}
+`
+
+func dfpCoordinates(t *testing.T) *Coordinates {
+	t.Helper()
+	plans, err := plan.Build(lang.MustParse(dfpSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym := plan.SymTable(plans.Symmetric)
+	var roots []*plan.Node
+	for _, r := range plans.SearchRoots() {
+		roots = append(roots, plan.Normalize(r, sym))
+	}
+	c, err := Extract(roots, dfpResolver(), sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestExtractDFP(t *testing.T) {
+	c := dfpCoordinates(t)
+	if len(c.Blocks) < 5 {
+		t.Fatalf("blocks = %d, want at least the 5 of Figure 4 (expansion adds more):\n%s", len(c.Blocks), c)
+	}
+	// Coordinates must be strictly increasing and global.
+	last := 0
+	for _, b := range c.Blocks {
+		for _, a := range b.Atoms {
+			if a.Coord != last+1 {
+				t.Fatalf("coordinates not sequential at %v (prev %d)", a, last)
+			}
+			last = a.Coord
+		}
+	}
+	if last != c.NAtoms {
+		t.Fatalf("NAtoms = %d, last coord = %d", c.NAtoms, last)
+	}
+	// H is symmetric: no atom may carry a transpose on H.
+	for _, b := range c.Blocks {
+		for _, a := range b.Atoms {
+			if strings.HasPrefix(a.Sym, "H") && a.T {
+				t.Errorf("symmetric H carries transpose in block %d", b.ID)
+			}
+		}
+	}
+	// Loop-constant labels on A must be set.
+	found := false
+	for _, b := range c.Blocks {
+		for _, a := range b.Atoms {
+			if a.Sym == "A" {
+				found = true
+				if !a.LoopConst {
+					t.Error("A atom not labeled loop-constant")
+				}
+			}
+			if a.Sym == "x" && a.LoopConst {
+				t.Error("x atom wrongly labeled loop-constant")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no A atoms found")
+	}
+}
+
+func TestCanonicalKeySymmetricCollision(t *testing.T) {
+	// AH vs HAᵀ (H symmetric → its transpose was dropped at push-down):
+	// the canonical keys must collide.
+	ah := []Atom{{Sym: "A"}, {Sym: "H", Symm: true}}
+	haT := []Atom{{Sym: "H", Symm: true}, {Sym: "A", T: true}}
+	if CanonicalKey(ah) != CanonicalKey(haT) {
+		t.Fatalf("CanonicalKey(AH)=%q != CanonicalKey(HA')=%q", CanonicalKey(ah), CanonicalKey(haT))
+	}
+	if !Transposed(haT) && !Transposed(ah) {
+		// Exactly one of the two orientations is the canonical one.
+		t.Log("both orientations canonical — impossible unless equal strings")
+	}
+}
+
+func TestCanonicalKeyChainTranspose(t *testing.T) {
+	// dᵀAᵀA vs AᵀAd: (AᵀAd)ᵀ = dᵀAᵀA, so they share a canonical key.
+	dTaTa := []Atom{{Sym: "d", T: true}, {Sym: "A", T: true}, {Sym: "A"}}
+	aTad := []Atom{{Sym: "A", T: true}, {Sym: "A"}, {Sym: "d"}}
+	if CanonicalKey(dTaTa) != CanonicalKey(aTad) {
+		t.Fatalf("%q vs %q", CanonicalKey(dTaTa), CanonicalKey(aTad))
+	}
+}
+
+func TestCanonicalKeyDistinguishesDifferentChains(t *testing.T) {
+	ab := []Atom{{Sym: "A"}, {Sym: "B"}}
+	ba := []Atom{{Sym: "B"}, {Sym: "A"}}
+	if CanonicalKey(ab) == CanonicalKey(ba) {
+		t.Fatal("AB and BA must not collide (matrix multiplication is non-commutative)")
+	}
+}
+
+func TestSpanMeta(t *testing.T) {
+	c := dfpCoordinates(t)
+	// Find a block with at least 3 atoms and compute a span meta.
+	for _, b := range c.Blocks {
+		if b.Len() >= 3 {
+			m, err := c.SpanMeta(b, 0, b.Len()-1, sparsity.Metadata{})
+			if err != nil {
+				t.Fatalf("SpanMeta: %v (block %s)", err, b.Key())
+			}
+			if m.Rows <= 0 || m.Cols <= 0 {
+				t.Fatal("degenerate span meta")
+			}
+			return
+		}
+	}
+	t.Fatal("no block with >= 3 atoms")
+}
+
+func TestSpanMetaUnknownSymbol(t *testing.T) {
+	c := &Coordinates{res: res{}}
+	b := &Block{Atoms: []Atom{{Sym: "Z"}}}
+	if _, err := c.SpanMeta(b, 0, 0, sparsity.Metadata{}); err == nil {
+		t.Fatal("unknown symbol accepted")
+	}
+}
+
+func TestScalarDenominatorsBecomeBlocks(t *testing.T) {
+	// The dᵀAᵀAHAᵀAd denominator must appear as its own block (Figure 4
+	// blocks 3 and 5 are scalar regions).
+	c := dfpCoordinates(t)
+	long := 0
+	for _, b := range c.Blocks {
+		if b.Len() >= 7 {
+			long++
+		}
+	}
+	if long < 2 {
+		t.Fatalf("expected the numerator and denominator chains among blocks:\n%s", c)
+	}
+}
+
+func TestGroupsSeparateAdditiveRegions(t *testing.T) {
+	src := `
+P = read("P")
+Q = read("Q")
+X = read("X")
+Y = read("Y")
+Z = read("Z")
+R = P %*% X %*% Y + P %*% Y %*% Z + X %*% Y %*% Q + Y %*% Z %*% Q
+`
+	plans, err := plan.Build(lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res{
+		"P": sparsity.MetaDims(10, 10, 1), "Q": sparsity.MetaDims(10, 10, 1),
+		"X": sparsity.MetaDims(10, 10, 1), "Y": sparsity.MetaDims(10, 10, 1),
+		"Z": sparsity.MetaDims(10, 10, 1),
+	}
+	all := plans.SearchRoots()
+	roots := []*plan.Node{plan.Normalize(all[len(all)-1], nil)}
+	c, err := Extract(roots, r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4 summands:\n%s", len(c.Blocks), c)
+	}
+	g := c.Blocks[0].Group
+	for _, b := range c.Blocks {
+		if b.Group != g {
+			t.Fatal("summands of one additive region must share a group")
+		}
+	}
+}
+
+func TestScalarFactorInsideChain(t *testing.T) {
+	src := `
+A = read("A")
+d = read("d")
+y = A %*% (0.1 * d)
+`
+	plans, err := plan.Build(lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res{"A": sparsity.MetaDims(10, 5, 1), "d": sparsity.MetaDims(5, 1, 1)}
+	roots := []*plan.Node{plan.Normalize(plans.SearchRoots()[2], nil)}
+	c, err := Extract(roots, r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Blocks) != 1 || c.Blocks[0].Len() != 2 {
+		t.Fatalf("want one 2-atom block, got:\n%s", c)
+	}
+	if len(c.Blocks[0].ScalarDeps) != 1 {
+		t.Fatalf("scalar 0.1 should be a block dep, got %v", c.Blocks[0].ScalarDeps)
+	}
+}
+
+func TestAtomKeyRendering(t *testing.T) {
+	if (Atom{Sym: "A", T: true}).Key() != "A'" || (Atom{Sym: "A"}).Key() != "A" {
+		t.Fatal("atom key rendering wrong")
+	}
+	if SpanKey([]Atom{{Sym: "A", T: true}, {Sym: "d"}}) != "A'·d" {
+		t.Fatal("span key rendering wrong")
+	}
+}
+
+func TestNegatedBlocks(t *testing.T) {
+	src := `
+A = read("A")
+B = read("B")
+C = read("C")
+y = A %*% B - C %*% B
+`
+	plans, err := plan.Build(lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res{"A": sparsity.MetaDims(4, 4, 1), "B": sparsity.MetaDims(4, 4, 1), "C": sparsity.MetaDims(4, 4, 1)}
+	roots := []*plan.Node{plan.Normalize(plans.SearchRoots()[3], nil)}
+	c, err := Extract(roots, r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Blocks) != 2 {
+		t.Fatalf("blocks = %d", len(c.Blocks))
+	}
+	if c.Blocks[0].Negated || !c.Blocks[1].Negated {
+		t.Fatal("subtraction sign lost")
+	}
+}
+
+func TestOpaqueAtomsForUnexpandedStructure(t *testing.T) {
+	// Without expansion (the SystemDS-baseline path), t(A) %*% (A %*% x - b)
+	// keeps the subtraction as an opaque atom whose interior is still
+	// searched as its own blocks.
+	src := `
+A = read("A")
+b = read("b")
+x = read("x")
+g = t(A) %*% (A %*% x - b)
+`
+	plans, err := plan.Build(lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res{
+		"A": sparsity.MetaDims(100, 10, 0.5),
+		"b": sparsity.MetaDims(100, 1, 1),
+		"x": sparsity.MetaDims(10, 1, 1),
+	}
+	// Push-down only, no expansion: the g statement's raw form.
+	gRaw := plan.PushDownTranspose(plans.Pre[3].Raw, nil)
+	c, err := Extract([]*plan.Node{gRaw}, r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect: outer chain [A', ⟨A·x − b⟩] plus the interior blocks [A·x]
+	// and [b].
+	var outer *Block
+	for _, b := range c.Blocks {
+		for _, a := range b.Atoms {
+			if a.Opaque {
+				outer = b
+			}
+		}
+	}
+	if outer == nil {
+		t.Fatalf("no opaque atom found:\n%s", c)
+	}
+	if outer.Len() != 2 || outer.Atoms[0].Key() != "A'" {
+		t.Fatalf("outer chain wrong: %s", outer.Key())
+	}
+	if outer.Atoms[1].Node == nil {
+		t.Fatal("opaque atom must carry its subtree")
+	}
+	// Interior A·x block must exist too.
+	found := false
+	for _, b := range c.Blocks {
+		if b.Key() == "A·x" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("interior A·x block missing:\n%s", c)
+	}
+	// Opaque atom metadata comes from shape inference.
+	m, err := c.AtomMeta(outer.Atoms[1], sparsity.Metadata{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 100 || m.Cols != 1 {
+		t.Fatalf("opaque meta %dx%d, want 100x1", m.Rows, m.Cols)
+	}
+}
+
+func TestAtomMetaNilEstimatorDefaults(t *testing.T) {
+	c := dfpCoordinates(t)
+	b := c.Blocks[0]
+	if _, err := c.AtomMeta(b.Atoms[0], nil); err != nil {
+		t.Fatalf("nil estimator should default: %v", err)
+	}
+}

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if err := SingleNodeConfig().Validate(); err != nil {
+		t.Fatalf("single-node config invalid: %v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.CoresPerNode = 0 },
+		func(c *Config) { c.FlopsPerCore = 0 },
+		func(c *Config) { c.NetBandwidth = -1 },
+		func(c *Config) { c.DiskBandwidth = 0 },
+		func(c *Config) { c.BlockSize = 0 },
+		func(c *Config) { c.Efficiency = 0 },
+		func(c *Config) { c.Efficiency = 1.5 },
+	}
+	for i, mutate := range cases {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestWorkersExcludesDriver(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Workers() != 6 {
+		t.Errorf("Workers() = %d, want 6 (paper: six Spark workers)", cfg.Workers())
+	}
+	if SingleNodeConfig().Workers() != 1 {
+		t.Error("single node must still have one worker")
+	}
+}
+
+func TestClusterVsLocalFlops(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.ClusterFlops() <= cfg.LocalFlops() {
+		t.Error("cluster aggregate FLOP/s should exceed single node")
+	}
+	ratio := cfg.ClusterFlops() / cfg.LocalFlops()
+	if math.Abs(ratio-6) > 1e-9 {
+		t.Errorf("cluster/local ratio = %g, want 6", ratio)
+	}
+}
+
+func TestTransmitWeights(t *testing.T) {
+	cfg := DefaultConfig()
+	// Shuffle runs on all links in parallel, so its per-byte weight must be
+	// cheaper than collect which funnels into one link.
+	if cfg.TransmitWeight(Shuffle) >= cfg.TransmitWeight(Collect) {
+		t.Error("shuffle should be cheaper per byte than collect")
+	}
+	// Broadcast carries a fan-out penalty over a plain collect.
+	if cfg.TransmitWeight(Broadcast) <= cfg.TransmitWeight(Collect) {
+		t.Error("broadcast should be costlier per byte than collect")
+	}
+	for _, p := range Primitives {
+		if w := cfg.TransmitWeight(p); w <= 0 {
+			t.Errorf("weight for %v = %g, want > 0", p, w)
+		}
+	}
+}
+
+func TestChargeAccumulates(t *testing.T) {
+	c := New(DefaultConfig())
+	c.ChargeCompute(1e9, false)
+	c.ChargeCompute(1e9, true)
+	c.ChargeTransmit(Broadcast, 1e6)
+	c.ChargeTransmit(Shuffle, 2e6)
+	s := c.Stats()
+	if s.FLOP != 2e9 {
+		t.Errorf("FLOP = %g, want 2e9", s.FLOP)
+	}
+	if s.Ops != 2 {
+		t.Errorf("Ops = %d, want 2", s.Ops)
+	}
+	if s.BytesFor(Broadcast) != 1e6 || s.BytesFor(Shuffle) != 2e6 {
+		t.Error("per-primitive bytes wrong")
+	}
+	if s.TotalBytes() != 3e6 {
+		t.Errorf("TotalBytes = %g, want 3e6", s.TotalBytes())
+	}
+	if s.TotalTime() != s.ComputeTime+s.TransmitTime {
+		t.Error("TotalTime mismatch")
+	}
+	// Local compute of the same FLOP must take longer than distributed.
+	c2 := New(DefaultConfig())
+	c2.ChargeCompute(1e9, false)
+	distributed := c2.Stats().ComputeTime
+	c2.Reset()
+	c2.ChargeCompute(1e9, true)
+	local := c2.Stats().ComputeTime
+	if local <= distributed {
+		t.Error("local compute should be slower than distributed for same FLOP")
+	}
+}
+
+func TestChargeTransmitIgnoresNonPositive(t *testing.T) {
+	c := New(DefaultConfig())
+	c.ChargeTransmit(Collect, 0)
+	c.ChargeTransmit(Collect, -5)
+	if c.Stats().TotalBytes() != 0 {
+		t.Error("non-positive volumes must be ignored")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(DefaultConfig())
+	c.ChargeCompute(1, false)
+	c.ChargeWorker(0, 100)
+	c.Reset()
+	s := c.Stats()
+	if s.FLOP != 0 || s.TotalBytes() != 0 || s.WorkerBytes[0] != 0 {
+		t.Error("Reset left residue")
+	}
+}
+
+func TestWorkerBytesSnapshotIsolated(t *testing.T) {
+	c := New(DefaultConfig())
+	c.ChargeWorker(0, 10)
+	s := c.Stats()
+	s.WorkerBytes[0] = 999
+	if c.Stats().WorkerBytes[0] != 10 {
+		t.Error("snapshot aliases internal state")
+	}
+}
+
+func TestConcurrentCharging(t *testing.T) {
+	c := New(DefaultConfig())
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.ChargeCompute(1, false)
+				c.ChargeTransmit(Shuffle, 1)
+				c.ChargeWorker(j, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.FLOP != 3200 || s.BytesFor(Shuffle) != 3200 {
+		t.Fatalf("lost updates: FLOP=%g shuffle=%g", s.FLOP, s.BytesFor(Shuffle))
+	}
+}
+
+func TestPartitionOfBalanced(t *testing.T) {
+	// The hash partition should spread a block grid near-uniformly over the
+	// workers — this is what makes Fig 13's proportions land near 1/6.
+	c := New(DefaultConfig())
+	counts := make([]int, c.Config().Workers())
+	n := 0
+	for br := 0; br < 60; br++ {
+		for bc := 0; bc < 10; bc++ {
+			counts[c.PartitionOf(br, bc)]++
+			n++
+		}
+	}
+	want := float64(n) / float64(len(counts))
+	for w, got := range counts {
+		if math.Abs(float64(got)-want)/want > 0.25 {
+			t.Errorf("worker %d holds %d blocks, want ~%.0f", w, got, want)
+		}
+	}
+}
+
+func TestPartitionOfDeterministic(t *testing.T) {
+	c := New(DefaultConfig())
+	f := func(br, bc uint16) bool {
+		a := c.PartitionOf(int(br), int(bc))
+		b := c.PartitionOf(int(br), int(bc))
+		return a == b && a >= 0 && a < c.Config().Workers()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrimitiveString(t *testing.T) {
+	names := map[Primitive]string{Collect: "collect", Broadcast: "broadcast", Shuffle: "shuffle", DFS: "dfs"}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), want)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{})
+}

@@ -1,0 +1,207 @@
+package costgraph
+
+import (
+	"sort"
+	"time"
+)
+
+// This file implements the brute-force enumeration baselines of §6.3.3:
+// combinations of elimination options enumerated depth-first or
+// breadth-first, each evaluated through the cost model. Both prune
+// contradictory selections; both take a budget (combination count and
+// deadline) since the combinatorial explosion makes full enumeration
+// infeasible for DFP-sized programs (the paper measured over three days
+// for GNMF).
+
+// EnumMode selects the traversal order.
+type EnumMode int
+
+const (
+	// DFS enumerates include/exclude decisions depth-first.
+	DFS EnumMode = iota
+	// BFS expands selections level by level (one more option per level).
+	BFS
+)
+
+// String names the mode.
+func (m EnumMode) String() string {
+	if m == BFS {
+		return "BFS"
+	}
+	return "DFS"
+}
+
+// EnumBudget bounds an enumeration run.
+type EnumBudget struct {
+	// MaxCombos caps evaluated combinations (0 = unlimited).
+	MaxCombos int
+	// Deadline caps wall time (0 = unlimited).
+	Deadline time.Duration
+}
+
+// Enumerate evaluates option combinations exhaustively (within budget) and
+// returns the best found. Options that cannot improve anything on their own
+// are filtered first, like the paper's enumeration which considers the
+// "millions of possible combinations" of useful options rather than the
+// full power set.
+func (p *Planner) Enumerate(mode EnumMode, budget EnumBudget) (*Decision, error) {
+	start := time.Now()
+	baseSel := make([]bool, len(p.options))
+	base, err := p.EvaluateCost(baseSel)
+	if err != nil {
+		return nil, err
+	}
+	evaluated := 1
+
+	// Filter to options with standalone benefit.
+	var useful []int
+	standalone := map[int]float64{}
+	for i := range p.options {
+		sel := make([]bool, len(p.options))
+		sel[i] = true
+		c, err := p.EvaluateCost(sel)
+		if err != nil {
+			return nil, err
+		}
+		evaluated++
+		if c < base {
+			useful = append(useful, i)
+			standalone[i] = c
+		}
+	}
+	// Deterministic order: strongest standalone benefit first, so budget-
+	// capped runs cover the promising corner of the combination space.
+	sort.SliceStable(useful, func(a, b int) bool {
+		ca, cb := standalone[useful[a]], standalone[useful[b]]
+		if ca != cb {
+			return ca < cb
+		}
+		return useful[a] < useful[b]
+	})
+
+	bestSel := make([]bool, len(p.options))
+	bestCost := base
+	deadline := time.Time{}
+	if budget.Deadline > 0 {
+		deadline = start.Add(budget.Deadline)
+	}
+	outOfBudget := func() bool {
+		if budget.MaxCombos > 0 && evaluated >= budget.MaxCombos {
+			return true
+		}
+		return !deadline.IsZero() && time.Now().After(deadline)
+	}
+
+	try := func(sel []bool) error {
+		c, err := p.EvaluateCost(sel)
+		if err != nil {
+			return err
+		}
+		evaluated++
+		if c < bestCost {
+			bestCost = c
+			copy(bestSel, sel)
+		}
+		return nil
+	}
+
+	switch mode {
+	case DFS:
+		sel := make([]bool, len(p.options))
+		var rec func(idx int) error
+		rec = func(idx int) error {
+			if outOfBudget() || idx >= len(useful) {
+				return nil
+			}
+			i := useful[idx]
+			// Include branch first (conflict pruning), so the promising
+			// corner of the space is covered before the budget trips.
+			if p.compatibleWith(sel, i) {
+				sel[i] = true
+				if err := try(sel); err != nil {
+					return err
+				}
+				if err := rec(idx + 1); err != nil {
+					return err
+				}
+				sel[i] = false
+			}
+			if outOfBudget() {
+				return nil
+			}
+			// Exclude branch.
+			return rec(idx + 1)
+		}
+		if err := rec(0); err != nil {
+			return nil, err
+		}
+	case BFS:
+		frontier := [][]bool{make([]bool, len(p.options))}
+		for level := 0; level < len(useful) && len(frontier) > 0 && !outOfBudget(); level++ {
+			var next [][]bool
+			for _, sel := range frontier {
+				if outOfBudget() {
+					break
+				}
+				for _, i := range useful {
+					if sel[i] || !p.compatibleWith(sel, i) {
+						continue
+					}
+					// Only extend with options after the last selected one
+					// to avoid revisiting permutations.
+					if lastSelected(sel, useful) >= indexOf(useful, i) {
+						continue
+					}
+					child := append([]bool(nil), sel...)
+					child[i] = true
+					if err := try(child); err != nil {
+						return nil, err
+					}
+					next = append(next, child)
+					if outOfBudget() {
+						break
+					}
+				}
+			}
+			frontier = next
+		}
+	}
+
+	total, plans, producers, err := p.Evaluate(bestSel)
+	if err != nil {
+		return nil, err
+	}
+	d := &Decision{
+		BlockPlans: plans,
+		Producers:  producers,
+		TotalCost:  total,
+		BuildTime:  p.buildTime,
+		ProbeTime:  time.Since(start),
+		Evaluated:  evaluated,
+	}
+	for i, s := range bestSel {
+		if s {
+			d.Selected = append(d.Selected, p.options[i])
+		}
+	}
+	return d, nil
+}
+
+func lastSelected(sel []bool, useful []int) int {
+	last := -1
+	for pos, i := range useful {
+		if sel[i] {
+			last = pos
+		}
+	}
+	return last
+}
+
+func indexOf(useful []int, v int) int {
+	for pos, i := range useful {
+		if i == v {
+			return pos
+		}
+	}
+	return -1
+}

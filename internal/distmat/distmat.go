@@ -1,0 +1,267 @@
+// Package distmat implements distributed matrices over the simulated
+// cluster, mirroring SystemDS's blocked-matrix runtime. A DistMatrix pairs a
+// materialized matrix (possibly a scaled-down sample) with virtual
+// dimensions at which all costs are accounted; kernels execute for real so
+// results are numerically exact, while the cluster is charged what the
+// operation would cost at virtual scale (see the substitution table in
+// DESIGN.md).
+package distmat
+
+import (
+	"fmt"
+
+	"remac/internal/cluster"
+	"remac/internal/cost"
+	"remac/internal/matrix"
+	"remac/internal/sparsity"
+)
+
+// Context binds a simulated cluster to the cost model used for runtime
+// charging. Runtime charging always uses exact sparsities from the
+// materialized data (the estimator only matters at compile time), so the
+// context model uses the MNC estimator's exact-count propagation inputs.
+type Context struct {
+	Cluster *cluster.Cluster
+	Model   *cost.Model
+	// Trace, when non-nil, receives one line per charged operator
+	// (debugging and the explain tool).
+	Trace func(bd cost.Breakdown)
+	// PartitionSec accumulates the simulated time of input reads (the
+	// input-partition phase of Fig 12), separately from the main clock.
+	PartitionSec float64
+}
+
+// NewContext creates a runtime context for a cluster.
+func NewContext(c *cluster.Cluster) *Context {
+	return &Context{Cluster: c, Model: cost.NewModel(c.Config(), sparsity.MNC{})}
+}
+
+func (ctx *Context) apply(bd cost.Breakdown) {
+	if ctx.Trace != nil {
+		ctx.Trace(bd)
+	}
+	ctx.Cluster.ChargeProfile(bd.FLOP, bd.ComputeSec, bd.TransmitSec, bd.Bytes[:])
+}
+
+// DistMatrix is a matrix value in the simulated distributed runtime.
+type DistMatrix struct {
+	ctx  *Context
+	data *matrix.Matrix
+	// vMeta carries the virtual (paper-scale) dimensions and sparsity used
+	// for all cost accounting. For inputs it is the virtualized metadata of
+	// the materialized sample; for derived values it is propagated through
+	// the estimator, because intermediate fill-in (e.g. AᵀA densifying)
+	// depends on the absolute dimensions, which the sample does not have.
+	vMeta sparsity.Meta
+	local bool
+}
+
+// New wraps a materialized matrix with virtual dimensions and places it
+// according to the cost model's local-memory rule. Passing vRows/vCols of 0
+// uses the actual dimensions.
+func New(ctx *Context, m *matrix.Matrix, vRows, vCols int64) *DistMatrix {
+	meta := sparsity.Virtualize(sparsity.MetaOf(m), vRows, vCols)
+	d := &DistMatrix{ctx: ctx, data: m, vMeta: meta}
+	d.local = ctx.Model.FitsLocal(meta)
+	return d
+}
+
+// Read wraps a matrix like New and additionally charges the input-partition
+// cost (dfs read + partition shuffle) for distributed inputs, and records
+// the per-worker block assignment for work-balance accounting (Fig 12/13).
+func Read(ctx *Context, m *matrix.Matrix, vRows, vCols int64) *DistMatrix {
+	d := New(ctx, m, vRows, vCols)
+	if !d.local {
+		bd := ctx.Model.DFSRead(d.Meta())
+		ctx.apply(bd)
+		ctx.PartitionSec += bd.Total()
+		chargeWorkers(ctx, d)
+	}
+	return d
+}
+
+// Data returns the materialized matrix.
+func (d *DistMatrix) Data() *matrix.Matrix { return d.data }
+
+// Local reports whether the value resides in driver memory.
+func (d *DistMatrix) Local() bool { return d.local }
+
+// VirtualDims returns the dimensions used for cost accounting.
+func (d *DistMatrix) VirtualDims() (int64, int64) { return d.vMeta.Rows, d.vMeta.Cols }
+
+// Meta returns the virtual-scale estimation descriptor.
+func (d *DistMatrix) Meta() sparsity.Meta { return d.vMeta }
+
+func (d *DistMatrix) derive(m *matrix.Matrix, meta sparsity.Meta, local bool) *DistMatrix {
+	return &DistMatrix{ctx: d.ctx, data: m, vMeta: meta, local: local}
+}
+
+func (d *DistMatrix) sameCtx(o *DistMatrix) {
+	if d.ctx != o.ctx {
+		panic("distmat: operands from different contexts")
+	}
+}
+
+// Mul returns d · o, executing the kernel and charging the cluster for the
+// method (local, BMM or CPMM) the cost model selects.
+func (d *DistMatrix) Mul(o *DistMatrix) *DistMatrix { return d.MulHinted(o, false) }
+
+// Add returns d + o.
+func (d *DistMatrix) Add(o *DistMatrix) *DistMatrix { return d.ewise(o, cost.EWAdd, "+") }
+
+// Sub returns d - o.
+func (d *DistMatrix) Sub(o *DistMatrix) *DistMatrix { return d.ewise(o, cost.EWAdd, "-") }
+
+// ElemMul returns d ⊙ o.
+func (d *DistMatrix) ElemMul(o *DistMatrix) *DistMatrix { return d.ewise(o, cost.EWMul, "*") }
+
+// ElemDiv returns element-wise d / o.
+func (d *DistMatrix) ElemDiv(o *DistMatrix) *DistMatrix { return d.ewise(o, cost.EWDiv, "/") }
+
+func (d *DistMatrix) ewise(o *DistMatrix, kind cost.EWiseKind, op string) *DistMatrix {
+	d.sameCtx(o)
+	if d.vMeta.Rows != o.vMeta.Rows || d.vMeta.Cols != o.vMeta.Cols {
+		panic(fmt.Sprintf("distmat: %q virtual dims %dx%d vs %dx%d", op, d.vMeta.Rows, d.vMeta.Cols, o.vMeta.Rows, o.vMeta.Cols))
+	}
+	var out *matrix.Matrix
+	switch op {
+	case "+":
+		out = d.data.Add(o.data)
+	case "-":
+		out = d.data.Sub(o.data)
+	case "*":
+		out = d.data.ElemMul(o.data)
+	default:
+		out = d.data.ElemDiv(o.data)
+	}
+	var (
+		outMeta  sparsity.Meta
+		bd       cost.Breakdown
+		outLocal bool
+	)
+	if d == o {
+		// Same value on both sides (e.g. V ⊙ V): partitions are aligned.
+		outMeta, bd, outLocal = d.ctx.Model.EWiseSame(kind, d.vMeta, d.local)
+	} else {
+		outMeta, bd, outLocal = d.ctx.Model.EWise(kind, d.vMeta, o.vMeta, d.local, o.local)
+	}
+	d.ctx.apply(bd)
+	return d.derive(out, outMeta, outLocal)
+}
+
+// Transpose returns dᵀ.
+func (d *DistMatrix) Transpose() *DistMatrix {
+	out := d.data.Transpose()
+	outMeta, bd, outLocal := d.ctx.Model.Transpose(d.vMeta, d.local)
+	d.ctx.apply(bd)
+	return d.derive(out, outMeta, outLocal)
+}
+
+// TransposeFused returns dᵀ without charging the cluster: leaf transposes
+// inside multiplication chains are fused into the multiply operators
+// (SystemDS rewrites t(A) %*% x into a transpose-fused matrix multiply
+// rather than materializing t(A)), and the cost model prices the fused
+// multiply on the transposed metadata.
+func (d *DistMatrix) TransposeFused() *DistMatrix {
+	out := d.data.Transpose()
+	return d.derive(out, sparsity.MNC{}.Transpose(d.vMeta), d.local)
+}
+
+// Scale returns s · d.
+func (d *DistMatrix) Scale(s float64) *DistMatrix {
+	out := d.data.Scale(s)
+	outMeta, bd, outLocal := d.ctx.Model.Scale(d.vMeta, d.local)
+	d.ctx.apply(bd)
+	return d.derive(out, outMeta, outLocal)
+}
+
+// AddScalar returns d + s on every element, charged as an element-wise
+// pass.
+func (d *DistMatrix) AddScalar(s float64) *DistMatrix {
+	out := d.data.AddScalar(s)
+	outMeta, bd, outLocal := d.ctx.Model.Scale(d.vMeta, d.local)
+	d.ctx.apply(bd)
+	// Adding a scalar densifies.
+	outMeta = sparsity.MetaDims(outMeta.Rows, outMeta.Cols, 1)
+	return d.derive(out, outMeta, outLocal)
+}
+
+// Sum returns the scalar sum of all elements; distributed inputs aggregate
+// per-partition partials and collect them.
+func (d *DistMatrix) Sum() float64 {
+	bd := cost.Breakdown{FLOP: d.vMeta.NNZ(), Local: d.local}
+	d.ctx.Cluster.ChargeCompute(bd.FLOP, bd.Local)
+	if !d.local {
+		// One partial per worker.
+		d.ctx.Cluster.ChargeTransmit(cluster.Collect, float64(8*d.ctx.Cluster.Config().Workers()))
+	}
+	return d.data.Sum()
+}
+
+// chargeWorkers distributes the matrix's virtual bytes across workers by
+// hash-partitioning a block grid weighted by the materialized per-block
+// nonzero mass. This reproduces the SystemDS 1000×1000 hash partitioning
+// whose balance Fig 13 measures.
+func chargeWorkers(ctx *Context, d *DistMatrix) {
+	shares := WorkerShares(ctx.Cluster, d.data)
+	total := cost.SizeBytes(d.Meta())
+	for w, s := range shares {
+		ctx.Cluster.ChargeWorker(w, s*total)
+	}
+}
+
+// WorkerShares returns the fraction of a matrix's data volume each worker
+// would hold under block hash partitioning. The materialized matrix is cut
+// into a grid standing in for the virtual 1000×1000 block grid; each cell
+// is weighted by its nonzero count and assigned by the cluster's hash.
+func WorkerShares(c *cluster.Cluster, m *matrix.Matrix) []float64 {
+	const gridTarget = 48
+	gr := min(gridTarget, m.Rows())
+	gc := min(gridTarget, m.Cols())
+	weights := make([]float64, c.Config().Workers())
+	cellRows := (m.Rows() + gr - 1) / gr
+	cellCols := (m.Cols() + gc - 1) / gc
+	counts := make([]float64, gr*gc)
+	m.ForEachNonzero(func(i, j int, _ float64) {
+		counts[(i/cellRows)*gc+j/cellCols]++
+	})
+	total := 0.0
+	for idx, n := range counts {
+		if n == 0 {
+			continue
+		}
+		w := c.PartitionOf(idx/gc, idx%gc)
+		weights[w] += n
+		total += n
+	}
+	if total == 0 {
+		for i := range weights {
+			weights[i] = 1 / float64(len(weights))
+		}
+		return weights
+	}
+	for i := range weights {
+		weights[i] /= total
+	}
+	return weights
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MulHinted is Mul with the TSMM structural hint (the operands form a
+// transpose-self product over the same underlying matrix).
+func (d *DistMatrix) MulHinted(o *DistMatrix, tsmm bool) *DistMatrix {
+	d.sameCtx(o)
+	if d.vMeta.Cols != o.vMeta.Rows {
+		panic(fmt.Sprintf("distmat: Mul virtual dims %dx%d · %dx%d", d.vMeta.Rows, d.vMeta.Cols, o.vMeta.Rows, o.vMeta.Cols))
+	}
+	out := d.data.Mul(o.data)
+	outMeta, bd, outLocal := d.ctx.Model.MulHinted(d.vMeta, o.vMeta, d.local, o.local, tsmm)
+	d.ctx.apply(bd)
+	return d.derive(out, outMeta, outLocal)
+}

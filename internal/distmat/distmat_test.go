@@ -1,0 +1,246 @@
+package distmat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"remac/internal/cluster"
+	"remac/internal/matrix"
+)
+
+func ctx() *Context { return NewContext(cluster.New(cluster.DefaultConfig())) }
+
+// scaledDataset builds a small materialized matrix that stands in for a
+// paper-scale distributed dataset via virtual dimensions.
+func scaledDataset(c *Context, rng *rand.Rand) *DistMatrix {
+	m := matrix.RandSparse(rng, 2000, 200, 0.02)
+	return Read(c, m, 50_000_000, 8000)
+}
+
+func TestNewPlacement(t *testing.T) {
+	c := ctx()
+	rng := rand.New(rand.NewSource(1))
+	small := New(c, matrix.RandDense(rng, 10, 10), 0, 0)
+	if !small.Local() {
+		t.Error("tiny matrix should be local")
+	}
+	big := scaledDataset(c, rng)
+	if big.Local() {
+		t.Error("virtual 50M×8K dataset must be distributed")
+	}
+	vr, vc := big.VirtualDims()
+	if vr != 50_000_000 || vc != 8000 {
+		t.Fatalf("virtual dims %dx%d", vr, vc)
+	}
+}
+
+func TestReadChargesInputPartition(t *testing.T) {
+	c := ctx()
+	rng := rand.New(rand.NewSource(2))
+	scaledDataset(c, rng)
+	s := c.Cluster.Stats()
+	if s.BytesFor(cluster.DFS) <= 0 {
+		t.Error("Read must charge dfs bytes for distributed input")
+	}
+	if s.BytesFor(cluster.Shuffle) <= 0 {
+		t.Error("Read must charge partition shuffle")
+	}
+	// Worker shares recorded and roughly balanced.
+	total := 0.0
+	for _, b := range s.WorkerBytes {
+		total += b
+	}
+	if total <= 0 {
+		t.Fatal("no worker bytes recorded")
+	}
+	for w, b := range s.WorkerBytes {
+		frac := b / total
+		if frac < 0.05 || frac > 0.4 {
+			t.Errorf("worker %d holds %.2f of data, hash partitioning should balance", w, frac)
+		}
+	}
+}
+
+func TestReadLocalNoCharge(t *testing.T) {
+	c := ctx()
+	rng := rand.New(rand.NewSource(3))
+	Read(c, matrix.RandDense(rng, 10, 10), 0, 0)
+	if c.Cluster.Stats().TotalBytes() != 0 {
+		t.Error("local read must not charge transmission")
+	}
+}
+
+func TestMulValuesExact(t *testing.T) {
+	c := ctx()
+	rng := rand.New(rand.NewSource(4))
+	a := matrix.RandDense(rng, 30, 20)
+	b := matrix.RandDense(rng, 20, 10)
+	da := New(c, a, 0, 0)
+	db := New(c, b, 0, 0)
+	got := da.Mul(db).Data()
+	if !got.ApproxEqual(a.Mul(b), 1e-12) {
+		t.Fatal("distributed Mul changed values")
+	}
+}
+
+func TestMulVirtualDimMismatchPanics(t *testing.T) {
+	c := ctx()
+	rng := rand.New(rand.NewSource(5))
+	a := New(c, matrix.RandDense(rng, 4, 4), 100, 100)
+	b := New(c, matrix.RandDense(rng, 4, 4), 99, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Mul(b)
+}
+
+func TestCrossContextPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := New(ctx(), matrix.RandDense(rng, 4, 4), 0, 0)
+	b := New(ctx(), matrix.RandDense(rng, 4, 4), 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Add(b)
+}
+
+func TestMatrixVectorUsesBMMAndCollects(t *testing.T) {
+	c := ctx()
+	rng := rand.New(rand.NewSource(7))
+	a := scaledDataset(c, rng)
+	c.Cluster.Reset()
+	v := New(c, matrix.RandDense(rng, 200, 1), 8000, 1)
+	out := a.Mul(v)
+	s := c.Cluster.Stats()
+	if s.BytesFor(cluster.Broadcast) <= 0 {
+		t.Error("matrix-vector should broadcast the vector")
+	}
+	if out.Local() {
+		t.Error("a 400MB result vector must stay distributed (RDD semantics)")
+	}
+	// A small product of a distributed operand is collected.
+	h := New(c, matrix.RandDense(rng, 200, 200), 120_000, 8000)
+	if h.Local() {
+		t.Fatal("5GB operand should be distributed")
+	}
+	small := h.Mul(New(c, matrix.RandDense(rng, 200, 1), 8000, 1))
+	if !small.Local() {
+		t.Error("a 120000x1 result (~640KB) should be collected local")
+	}
+	if c.Cluster.Stats().BytesFor(cluster.Collect) <= 0 {
+		t.Error("collect bytes expected for the small result")
+	}
+}
+
+func TestEWiseOpsMatchKernels(t *testing.T) {
+	c := ctx()
+	rng := rand.New(rand.NewSource(8))
+	am := matrix.RandDense(rng, 12, 12)
+	bm := matrix.RandDense(rng, 12, 12)
+	a := New(c, am, 0, 0)
+	b := New(c, bm, 0, 0)
+	if !a.Add(b).Data().ApproxEqual(am.Add(bm), 0) {
+		t.Error("Add wrong")
+	}
+	if !a.Sub(b).Data().ApproxEqual(am.Sub(bm), 0) {
+		t.Error("Sub wrong")
+	}
+	if !a.ElemMul(b).Data().ApproxEqual(am.ElemMul(bm), 0) {
+		t.Error("ElemMul wrong")
+	}
+	if !a.ElemDiv(b).Data().ApproxEqual(am.ElemDiv(bm), 0) {
+		t.Error("ElemDiv wrong")
+	}
+	if !a.Transpose().Data().ApproxEqual(am.Transpose(), 0) {
+		t.Error("Transpose wrong")
+	}
+	if !a.Scale(2.5).Data().ApproxEqual(am.Scale(2.5), 0) {
+		t.Error("Scale wrong")
+	}
+	if math.Abs(a.Sum()-am.Sum()) > 1e-9 {
+		t.Error("Sum wrong")
+	}
+}
+
+func TestEWiseShapeMismatchPanics(t *testing.T) {
+	c := ctx()
+	rng := rand.New(rand.NewSource(9))
+	a := New(c, matrix.RandDense(rng, 3, 4), 0, 0)
+	b := New(c, matrix.RandDense(rng, 3, 4), 30, 40)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Add(b) // virtual dims differ
+}
+
+func TestDistributedSumChargesCollect(t *testing.T) {
+	c := ctx()
+	rng := rand.New(rand.NewSource(10))
+	a := scaledDataset(c, rng)
+	c.Cluster.Reset()
+	a.Sum()
+	if c.Cluster.Stats().BytesFor(cluster.Collect) <= 0 {
+		t.Error("distributed Sum should collect partials")
+	}
+}
+
+func TestDistributedOpsSlowerThanLocal(t *testing.T) {
+	// The same logical multiplication must cost more simulated time when the
+	// operands are distributed — the effect that makes detrimental
+	// eliminations detrimental.
+	rng := rand.New(rand.NewSource(11))
+	am := matrix.RandDense(rng, 100, 50)
+	bm := matrix.RandDense(rng, 50, 40)
+
+	cLocal := ctx()
+	New(cLocal, am, 0, 0).Mul(New(cLocal, bm, 0, 0))
+	localTime := cLocal.Cluster.Stats().TotalTime()
+
+	cDist := ctx()
+	a := New(cDist, am, 40_000_000, 10_000)
+	b := New(cDist, bm, 10_000, 9_000)
+	a.Mul(b)
+	distTime := cDist.Cluster.Stats().TotalTime()
+	if distTime <= localTime {
+		t.Fatalf("distributed mul (%g s) should cost more than local (%g s)", distTime, localTime)
+	}
+}
+
+func TestWorkerSharesSkewedStillBalanced(t *testing.T) {
+	// Fig 13: hash partitioning of 1000×1000 blocks keeps worker shares
+	// near 1/6 even on zipf-2.8 data.
+	c := cluster.New(cluster.DefaultConfig())
+	rng := rand.New(rand.NewSource(12))
+	m := matrix.ZipfSparse(rng, 2000, 500, 0.01, 2.8)
+	shares := WorkerShares(c, m)
+	sum := 0.0
+	for _, s := range shares {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum to %g", sum)
+	}
+	for w, s := range shares {
+		if s < 0.05 || s > 0.45 {
+			t.Errorf("worker %d share %.3f too unbalanced", w, s)
+		}
+	}
+}
+
+func TestWorkerSharesEmptyMatrix(t *testing.T) {
+	c := cluster.New(cluster.DefaultConfig())
+	m := matrix.NewDense(10, 10)
+	shares := WorkerShares(c, m)
+	for _, s := range shares {
+		if math.Abs(s-1.0/6) > 1e-9 {
+			t.Fatal("empty matrix should fall back to uniform shares")
+		}
+	}
+}

@@ -1,0 +1,725 @@
+// Package engine executes compiled programs on the simulated distributed
+// runtime: it drives the loop, evaluates statement plans over distmat
+// values, hoists loop-constant producers out of the loop (LSE), reuses
+// common-subexpression results within an iteration (CSE), and accounts the
+// phase breakdown (input partition / compilation / computation /
+// transmission) the paper's Fig 12 reports.
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"remac/internal/chain"
+	"remac/internal/cluster"
+	"remac/internal/costgraph"
+	"remac/internal/distmat"
+	"remac/internal/lang"
+	"remac/internal/matrix"
+	"remac/internal/opt"
+	"remac/internal/plan"
+	"remac/internal/search"
+)
+
+// Input pairs a materialized matrix with its virtual dimensions (paper
+// scale). Zero virtual dims default to the actual ones.
+type Input struct {
+	Data         *matrix.Matrix
+	VRows, VCols int64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Env holds the final variable bindings.
+	Env map[string]*distmat.DistMatrix
+	// Stats is the simulated cluster accounting for the whole run.
+	Stats cluster.Stats
+	// Iterations actually executed.
+	Iterations int
+	// InputPartitionSec is the simulated time spent reading and
+	// partitioning inputs (Fig 12's first phase).
+	InputPartitionSec float64
+	// CompileSec is the real compilation time, reported alongside the
+	// simulated execution phases.
+	CompileSec float64
+}
+
+// TotalSec returns the simulated execution time plus compilation.
+func (r *Result) TotalSec() float64 { return r.Stats.TotalTime() + r.CompileSec }
+
+// MaxIterations caps runaway loops (misconfigured conditions).
+const MaxIterations = 100000
+
+// Run executes a compiled program over the given inputs on a fresh
+// simulated cluster.
+func Run(c *opt.Compiled, inputs map[string]Input) (*Result, error) {
+	cl := cluster.New(c.Config.Cluster)
+	ctx := distmat.NewContext(cl)
+	e := &executor{
+		c:        c,
+		ctx:      ctx,
+		env:      map[string]*distmat.DistMatrix{},
+		inputs:   inputs,
+		lseCache: map[string]*distmat.DistMatrix{},
+	}
+	if err := e.prepare(); err != nil {
+		return nil, err
+	}
+
+	// Pre-loop statements.
+	for _, sp := range c.Plans.Pre {
+		if err := e.execStmtOriginal(sp); err != nil {
+			return nil, err
+		}
+	}
+
+	iterations := 0
+	if c.Plans.Loop != nil {
+		for iterations < MaxIterations {
+			ok, err := e.cond(c.Plans.Loop.Cond)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			if err := e.iteration(); err != nil {
+				return nil, err
+			}
+			iterations++
+		}
+		if iterations >= MaxIterations {
+			return nil, fmt.Errorf("engine: loop exceeded %d iterations", MaxIterations)
+		}
+	}
+	for _, sp := range c.Plans.Post {
+		if err := e.execStmtOriginal(sp); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{
+		Env:               e.env,
+		Stats:             cl.Stats(),
+		Iterations:        iterations,
+		InputPartitionSec: ctx.PartitionSec,
+		CompileSec:        c.TotalTime.Seconds(),
+	}, nil
+}
+
+type executor struct {
+	c      *opt.Compiled
+	ctx    *distmat.Context
+	env    map[string]*distmat.DistMatrix
+	inputs map[string]Input
+
+	// explicitKeys marks subtree keys stock SystemDS would reuse
+	// (Explicit strategy only).
+	explicitKeys map[string]bool
+
+	// blockByOrigin finds the resolved plan for a chain region during
+	// normalized-tree evaluation.
+	blockByOrigin map[*plan.Node]*costgraph.BlockPlan
+	// producers maps option keys to their producer plans.
+	producers map[string]*costgraph.ProducerPlan
+
+	// lseCache persists across iterations; cseCache and subtreeCache are
+	// per-iteration; transCache memoizes fused transposes per value.
+	lseCache     map[string]*distmat.DistMatrix
+	cseCache     map[string]*distmat.DistMatrix
+	subtreeCache map[string]cachedSubtree
+	transCache   map[*distmat.DistMatrix]*distmat.DistMatrix
+}
+
+// cachedSubtree is an explicit-CSE cache entry: the value plus the
+// variables it depends on, so reassignments invalidate it.
+type cachedSubtree struct {
+	v    *distmat.DistMatrix
+	refs map[string]bool
+}
+
+func (e *executor) prepare() error {
+	c := e.c
+	// Explicit applies stock SystemDS's identical-subtree CSE; the
+	// conservative strategy subsumes it ("applies CSE after all
+	// optimizations improving the operator order", §6.3.1), so both enable
+	// the as-written span cache.
+	if c.Config.Strategy == opt.Explicit || c.Config.Strategy == opt.Conservative {
+		e.explicitKeys = map[string]bool{}
+		var roots []*plan.Node
+		for _, sp := range c.Plans.Body {
+			roots = append(roots, sp.Raw)
+		}
+		for key := range plan.ExplicitCSEKeys(roots) {
+			e.explicitKeys[key] = true
+		}
+	}
+	if c.Decision != nil {
+		e.blockByOrigin = map[*plan.Node]*costgraph.BlockPlan{}
+		for _, bp := range c.Decision.BlockPlans {
+			e.blockByOrigin[bp.Block.Origin] = bp
+		}
+		e.producers = map[string]*costgraph.ProducerPlan{}
+		for _, pp := range c.Decision.Producers {
+			e.producers[pp.Option.Key] = pp
+		}
+	}
+	return nil
+}
+
+// iteration runs one loop-body pass.
+func (e *executor) iteration() error {
+	e.cseCache = map[string]*distmat.DistMatrix{}
+	e.subtreeCache = map[string]cachedSubtree{}
+
+	if e.c.UsesRawBody {
+		// SystemDS-style: every statement executes its raw tree through
+		// cost-ordered chain plans; assignments invalidate cached values.
+		for i, sp := range e.c.Plans.Body {
+			v, err := e.eval(e.c.NormalizedBody[i])
+			if err != nil {
+				return fmt.Errorf("engine: %s: %w", sp.Target, err)
+			}
+			e.env[sp.Target] = v
+			e.invalidate(sp.Target)
+		}
+		return nil
+	}
+
+	norm := 0
+	for _, sp := range e.c.Plans.Body {
+		if sp.Inlined {
+			continue // absorbed into downstream normalized trees
+		}
+		tree := e.c.NormalizedBody[norm]
+		norm++
+		v, err := e.eval(tree)
+		if err != nil {
+			return fmt.Errorf("engine: %s: %w", sp.Target, err)
+		}
+		// Bind the versioned symbol: inlined references to the pre-update
+		// value keep resolving to the old binding until the end-of-
+		// iteration promotion below.
+		e.env[sp.TargetSym] = v
+		if sp.TargetSym == sp.Target {
+			// Unversioned rebinds (e.g. the per-iteration gradient)
+			// invalidate cached spans that referenced the old value.
+			e.invalidate(sp.Target)
+		}
+	}
+	// Promote versioned bindings so the next iteration (and the loop
+	// condition) sees the updated values.
+	for _, sp := range e.c.Plans.Body {
+		if sp.Inlined || sp.TargetSym == sp.Target {
+			continue
+		}
+		if v, ok := e.env[sp.TargetSym]; ok {
+			e.env[sp.Target] = v
+		}
+	}
+	return nil
+}
+
+// invalidate drops cached values that referenced the reassigned variable.
+func (e *executor) invalidate(name string) {
+	for key, entry := range e.subtreeCache {
+		if entry.refs[name] {
+			delete(e.subtreeCache, key)
+		}
+	}
+}
+
+// execStmtOriginal evaluates a statement's as-written (uninlined) tree —
+// SystemDS-style statement-by-statement execution, optionally with the
+// explicit-CSE subtree cache.
+func (e *executor) execStmtOriginal(sp plan.StmtPlan) error {
+	v, err := e.eval(sp.Raw)
+	if err != nil {
+		return fmt.Errorf("engine: %s: %w", sp.Target, err)
+	}
+	e.env[sp.Target] = v
+	// An assignment invalidates cached subtrees that referenced the
+	// variable's previous value (SystemDS's CSE never unifies values from
+	// different program points).
+	e.invalidate(sp.Target)
+	return nil
+}
+
+// eval evaluates a plan tree over the runtime environment. Chain regions
+// with resolved block plans evaluate through them (reuse caches included);
+// everything else evaluates structurally.
+func (e *executor) eval(n *plan.Node) (*distmat.DistMatrix, error) {
+	if bp, ok := e.blockByOrigin[n]; ok {
+		return e.evalBlock(bp)
+	}
+	if e.explicitKeys != nil && len(n.Kids) > 0 {
+		if entry, ok := e.subtreeCache[n.Key()]; ok {
+			return entry.v, nil
+		}
+	}
+	v, err := e.evalStructural(n)
+	if err != nil {
+		return nil, err
+	}
+	if e.explicitKeys != nil && e.explicitKeys[n.Key()] {
+		refs := map[string]bool{}
+		n.Walk(func(c *plan.Node) {
+			if c.Kind == plan.Leaf {
+				refs[baseSym(c.Sym)] = true
+			}
+		})
+		e.subtreeCache[n.Key()] = cachedSubtree{v: v, refs: refs}
+	}
+	return v, nil
+}
+
+func (e *executor) evalStructural(n *plan.Node) (*distmat.DistMatrix, error) {
+	switch n.Kind {
+	case plan.Leaf:
+		return e.lookup(n.Sym)
+	case plan.Const:
+		return e.scalar(n.Val), nil
+	case plan.Trans:
+		x, err := e.eval(n.L())
+		if err != nil {
+			return nil, err
+		}
+		if n.L().Kind == plan.Leaf {
+			// Leaf transposes are fused into consumers, like chain atoms.
+			return e.fusedTranspose(n.L().Sym, x), nil
+		}
+		return x.Transpose(), nil
+	case plan.Neg:
+		x, err := e.eval(n.L())
+		if err != nil {
+			return nil, err
+		}
+		return x.Scale(-1), nil
+	case plan.SumAll:
+		x, err := e.eval(n.L())
+		if err != nil {
+			return nil, err
+		}
+		return e.scalar(x.Sum()), nil
+	case plan.AsScalar:
+		x, err := e.eval(n.L())
+		if err != nil {
+			return nil, err
+		}
+		if !x.Data().IsScalar() {
+			return nil, fmt.Errorf("as.scalar of %dx%d matrix", x.Data().Rows(), x.Data().Cols())
+		}
+		return x, nil
+	case plan.NRows, plan.NCols:
+		// Dimension queries resolve against the bound value; a leaf operand
+		// is the common case and costs nothing.
+		x, err := e.eval(n.L())
+		if err != nil {
+			return nil, err
+		}
+		if n.Kind == plan.NRows {
+			return e.scalar(float64(x.Data().Rows())), nil
+		}
+		return e.scalar(float64(x.Data().Cols())), nil
+	case plan.Sqrt, plan.Abs:
+		x, err := e.eval(n.L())
+		if err != nil {
+			return nil, err
+		}
+		if !x.Data().IsScalar() {
+			return nil, fmt.Errorf("%v of non-scalar", n.Kind)
+		}
+		v := x.Data().ScalarValue()
+		if n.Kind == plan.Sqrt {
+			v = math.Sqrt(v)
+		} else {
+			v = math.Abs(v)
+		}
+		return e.scalar(v), nil
+	}
+	l, err := e.eval(n.L())
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.eval(n.R())
+	if err != nil {
+		return nil, err
+	}
+	return e.applyBin(n.Kind, l, r)
+}
+
+func (e *executor) applyBin(k plan.Kind, l, r *distmat.DistMatrix) (*distmat.DistMatrix, error) {
+	ls, rs := l.Data().IsScalar(), r.Data().IsScalar()
+	switch k {
+	case plan.MMul:
+		if ls {
+			return r.Scale(l.Data().ScalarValue()), nil
+		}
+		if rs {
+			return l.Scale(r.Data().ScalarValue()), nil
+		}
+		return e.mulWithHint(l, r, false), nil
+	case plan.Add, plan.Sub:
+		if ls != rs {
+			// Scalar broadcast against a matrix.
+			m, err := e.broadcastScalarOp(k, l, r, ls)
+			return m, err
+		}
+		if ls && rs {
+			a, b := l.Data().ScalarValue(), r.Data().ScalarValue()
+			if k == plan.Add {
+				return e.scalar(a + b), nil
+			}
+			return e.scalar(a - b), nil
+		}
+		if k == plan.Add {
+			return l.Add(r), nil
+		}
+		return l.Sub(r), nil
+	case plan.EMul:
+		if ls {
+			return r.Scale(l.Data().ScalarValue()), nil
+		}
+		if rs {
+			return l.Scale(r.Data().ScalarValue()), nil
+		}
+		return l.ElemMul(r), nil
+	case plan.EDiv:
+		if rs {
+			return l.Scale(1 / r.Data().ScalarValue()), nil
+		}
+		if ls {
+			return nil, fmt.Errorf("scalar / matrix is not supported")
+		}
+		return l.ElemDiv(r), nil
+	}
+	return nil, fmt.Errorf("engine: not a binary op: %v", k)
+}
+
+func (e *executor) broadcastScalarOp(k plan.Kind, l, r *distmat.DistMatrix, leftScalar bool) (*distmat.DistMatrix, error) {
+	if leftScalar {
+		s := l.Data().ScalarValue()
+		if k == plan.Add {
+			return e.addScalar(r, s), nil
+		}
+		return e.addScalar(r.Scale(-1), s), nil
+	}
+	s := r.Data().ScalarValue()
+	if k == plan.Sub {
+		s = -s
+	}
+	return e.addScalar(l, s), nil
+}
+
+func (e *executor) addScalar(m *distmat.DistMatrix, s float64) *distmat.DistMatrix {
+	return m.AddScalar(s)
+}
+
+func (e *executor) scalar(v float64) *distmat.DistMatrix {
+	return distmat.New(e.ctx, matrix.Scalar(v), 1, 1)
+}
+
+func (e *executor) lookup(sym string) (*distmat.DistMatrix, error) {
+	// Exact (possibly versioned) binding first; base name and then inputs
+	// as fallbacks.
+	if v, ok := e.env[sym]; ok {
+		return v, nil
+	}
+	name := baseSym(sym)
+	if v, ok := e.env[name]; ok {
+		return v, nil
+	}
+	if in, ok := e.inputs[name]; ok {
+		v := distmat.Read(e.ctx, in.Data, in.VRows, in.VCols)
+		e.env[name] = v
+		return v, nil
+	}
+	return nil, fmt.Errorf("unbound symbol %q", sym)
+}
+
+func baseSym(sym string) string {
+	for i := 0; i < len(sym); i++ {
+		if sym[i] == '#' {
+			return sym[:i]
+		}
+	}
+	return sym
+}
+
+// evalBlock evaluates a chain block through its resolved plan tree,
+// applying the block's scalar factors (interior spans are memoized in
+// evalOpNode under the Explicit strategy).
+func (e *executor) evalBlock(bp *costgraph.BlockPlan) (*distmat.DistMatrix, error) {
+	v, err := e.evalOpNode(bp.Block, bp.Root)
+	if err != nil {
+		return nil, err
+	}
+	for _, dep := range bp.Block.ScalarDeps {
+		s, err := e.eval(dep)
+		if err != nil {
+			return nil, err
+		}
+		v = v.Scale(s.Data().ScalarValue())
+	}
+	return v, nil
+}
+
+// evalOpNode evaluates one node of a block plan: a reuse leaf consults the
+// caches, an atom leaf resolves the symbol, interior nodes multiply. Under
+// the Explicit strategy, interior spans are memoized by their as-written
+// key — SystemDS's identical-subtree CSE over the operator DAG the order
+// optimizer produced.
+func (e *executor) evalOpNode(b *chain.Block, n *costgraph.OpNode) (*distmat.DistMatrix, error) {
+	if n.ReuseOf != nil {
+		v, err := e.optionValue(n.ReuseOf)
+		if err != nil {
+			return nil, err
+		}
+		if n.Flipped {
+			v = v.Transpose()
+		}
+		return v, nil
+	}
+	if n.Lo == n.Hi {
+		return e.atomValue(b.Atoms[n.Lo])
+	}
+	var cacheKey string
+	if e.explicitKeys != nil {
+		cacheKey = chain.SpanKey(b.Atoms[n.Lo : n.Hi+1])
+		if entry, ok := e.subtreeCache[cacheKey]; ok {
+			return entry.v, nil
+		}
+	}
+	l, err := e.evalOpNode(b, n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.evalOpNode(b, n.R)
+	if err != nil {
+		return nil, err
+	}
+	tsmm := n.L.Lo == n.L.Hi && n.R.Lo == n.R.Hi && n.L.ReuseOf == nil && n.R.ReuseOf == nil &&
+		isTSMMAtoms(b.Atoms[n.L.Lo], b.Atoms[n.R.Lo])
+	v := e.mulWithHint(l, r, tsmm)
+	if cacheKey != "" {
+		e.subtreeCache[cacheKey] = cachedSubtree{v: v, refs: spanRefs(b.Atoms[n.Lo : n.Hi+1])}
+	}
+	return v, nil
+}
+
+func spanRefs(atoms []chain.Atom) map[string]bool {
+	refs := map[string]bool{}
+	for _, a := range atoms {
+		if a.Opaque {
+			a.Node.Walk(func(n *plan.Node) {
+				if n.Kind == plan.Leaf {
+					refs[baseSym(n.Sym)] = true
+				}
+			})
+			continue
+		}
+		refs[baseSym(a.Sym)] = true
+	}
+	return refs
+}
+
+func isTSMMAtoms(l, r chain.Atom) bool {
+	return l.Sym == r.Sym && l.T != r.T
+}
+
+func (e *executor) mulWithHint(l, r *distmat.DistMatrix, tsmm bool) *distmat.DistMatrix {
+	return l.MulHinted(r, tsmm)
+}
+
+func (e *executor) atomValue(a chain.Atom) (*distmat.DistMatrix, error) {
+	if a.Opaque {
+		v, err := e.eval(a.Node)
+		if err != nil {
+			return nil, err
+		}
+		if a.T {
+			return v.Transpose(), nil
+		}
+		return v, nil
+	}
+	v, err := e.lookup(a.Sym)
+	if err != nil {
+		return nil, err
+	}
+	if a.T {
+		// Fused: chain atoms never materialize a distributed transpose.
+		return e.fusedTranspose(a.Sym, v), nil
+	}
+	return v, nil
+}
+
+// fusedTranspose returns the transposed value, memoized per symbol so the
+// (real) transpose kernel runs once per binding.
+func (e *executor) fusedTranspose(sym string, v *distmat.DistMatrix) *distmat.DistMatrix {
+	if e.transCache == nil {
+		e.transCache = map[*distmat.DistMatrix]*distmat.DistMatrix{}
+	}
+	if tv, ok := e.transCache[v]; ok {
+		return tv
+	}
+	tv := v.TransposeFused()
+	e.transCache[v] = tv
+	_ = sym
+	return tv
+}
+
+// optionValue returns the cached value of a selected option, computing its
+// producer on first use. LSE values persist across iterations; CSE values
+// live for one iteration.
+func (e *executor) optionValue(o *search.Option) (*distmat.DistMatrix, error) {
+	cache := e.cseCache
+	if o.Kind == search.LSE {
+		cache = e.lseCache
+	}
+	if v, ok := cache[o.Key]; ok {
+		return v, nil
+	}
+	pp, ok := e.producers[o.Key]
+	if !ok {
+		return nil, fmt.Errorf("no producer for option %q", o.Key)
+	}
+	var v *distmat.DistMatrix
+	var err error
+	switch {
+	case o.Kind == search.CSEGroup:
+		v, err = e.groupValue(o)
+	default:
+		occ := o.Occs[0]
+		b := e.c.Coords.Blocks[occ.Block]
+		v, err = e.evalOpNode(b, pp.Root)
+		if err == nil && occ.Flipped {
+			// The producer computed the first occurrence's orientation;
+			// normalize the cache to canonical form.
+			v = v.Transpose()
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	cache[o.Key] = v
+	return v, nil
+}
+
+// groupValue computes a cross-block grouped sum (the first pair of
+// occurrences added together).
+func (e *executor) groupValue(o *search.Option) (*distmat.DistMatrix, error) {
+	if len(o.Occs) < 2 {
+		return nil, fmt.Errorf("group option %q has %d occurrences", o.Key, len(o.Occs))
+	}
+	var total *distmat.DistMatrix
+	for i := 0; i < 2; i++ {
+		occ := o.Occs[i]
+		b := e.c.Coords.Blocks[occ.Block]
+		v, err := e.evalSpan(b, occ.Lo, occ.Hi)
+		if err != nil {
+			return nil, err
+		}
+		if total == nil {
+			total = v
+		} else {
+			total = total.Add(v)
+		}
+	}
+	return total, nil
+}
+
+// evalSpan evaluates a chain span right-associatively (used for group
+// members, whose internal order is not resolved by a block plan).
+func (e *executor) evalSpan(b *chain.Block, lo, hi int) (*distmat.DistMatrix, error) {
+	v, err := e.atomValue(b.Atoms[hi])
+	if err != nil {
+		return nil, err
+	}
+	for i := hi - 1; i >= lo; i-- {
+		l, err := e.atomValue(b.Atoms[i])
+		if err != nil {
+			return nil, err
+		}
+		v = l.Mul(v)
+	}
+	return v, nil
+}
+
+// cond evaluates a loop condition over the scalar environment.
+func (e *executor) cond(expr lang.Expr) (bool, error) {
+	v, err := e.condValue(expr)
+	if err != nil {
+		return false, err
+	}
+	return v != 0, nil
+}
+
+func (e *executor) condValue(expr lang.Expr) (float64, error) {
+	switch expr := expr.(type) {
+	case *lang.Num:
+		return expr.V, nil
+	case *lang.Ref:
+		v, err := e.lookup(expr.Name)
+		if err != nil {
+			return 0, err
+		}
+		if !v.Data().IsScalar() {
+			return 0, fmt.Errorf("loop condition uses non-scalar %q", expr.Name)
+		}
+		return v.Data().ScalarValue(), nil
+	case *lang.Un:
+		v, err := e.condValue(expr.X)
+		return -v, err
+	case *lang.Bin:
+		l, err := e.condValue(expr.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := e.condValue(expr.R)
+		if err != nil {
+			return 0, err
+		}
+		switch expr.Op {
+		case "+":
+			return l + r, nil
+		case "-":
+			return l - r, nil
+		case "*":
+			return l * r, nil
+		case "/":
+			return l / r, nil
+		case "<":
+			return b2f(l < r), nil
+		case ">":
+			return b2f(l > r), nil
+		case "<=":
+			return b2f(l <= r), nil
+		case ">=":
+			return b2f(l >= r), nil
+		case "==":
+			return b2f(l == r), nil
+		case "!=":
+			return b2f(l != r), nil
+		}
+		return 0, fmt.Errorf("bad condition operator %q", expr.Op)
+	case *lang.Call:
+		if expr.Fn == "abs" || expr.Fn == "sqrt" {
+			v, err := e.condValue(expr.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			if expr.Fn == "abs" {
+				return math.Abs(v), nil
+			}
+			return math.Sqrt(v), nil
+		}
+		return 0, fmt.Errorf("function %q not allowed in conditions", expr.Fn)
+	}
+	return 0, fmt.Errorf("unsupported condition expression %T", expr)
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,210 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp     // + - * / %*% < > <= >= == != =
+	tokLParen // (
+	tokRParen // )
+	tokLBrace // {
+	tokRBrace // }
+	tokComma
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer splits a script into tokens and collects pragmas from comments.
+type lexer struct {
+	src     []rune
+	pos     int
+	line    int
+	pragmas []string
+	lastErr error
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1}
+}
+
+// lex tokenizes the entire input. It returns collected pragma comment
+// bodies alongside the token stream.
+func (lx *lexer) lex() ([]token, []string, error) {
+	var toks []token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, nil, err
+		}
+		toks = append(toks, tok)
+		if tok.kind == tokEOF {
+			return toks, lx.pragmas, nil
+		}
+	}
+}
+
+func (lx *lexer) peekRune() rune {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) advance() rune {
+	r := lx.src[lx.pos]
+	lx.pos++
+	if r == '\n' {
+		lx.line++
+	}
+	return r
+}
+
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		r := lx.peekRune()
+		switch {
+		case r == '#':
+			lx.comment()
+		case unicode.IsSpace(r):
+			lx.advance()
+		default:
+			goto tokenStart
+		}
+	}
+	return token{kind: tokEOF, line: lx.line}, nil
+
+tokenStart:
+	line := lx.line
+	r := lx.peekRune()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		return lx.ident(line), nil
+	case unicode.IsDigit(r):
+		return lx.number(line)
+	case r == '"':
+		return lx.str(line)
+	}
+	lx.advance()
+	switch r {
+	case '(':
+		return token{kind: tokLParen, text: "(", line: line}, nil
+	case ')':
+		return token{kind: tokRParen, text: ")", line: line}, nil
+	case '{':
+		return token{kind: tokLBrace, text: "{", line: line}, nil
+	case '}':
+		return token{kind: tokRBrace, text: "}", line: line}, nil
+	case ',':
+		return token{kind: tokComma, text: ",", line: line}, nil
+	case '+', '-', '*', '/':
+		return token{kind: tokOp, text: string(r), line: line}, nil
+	case '%':
+		// The matrix multiplication operator %*%.
+		if lx.peekRune() == '*' {
+			lx.advance()
+			if lx.peekRune() == '%' {
+				lx.advance()
+				return token{kind: tokOp, text: "%*%", line: line}, nil
+			}
+		}
+		return token{}, fmt.Errorf("lang:%d: stray %%, expected %%*%%", line)
+	case '<', '>', '=', '!':
+		if lx.peekRune() == '=' {
+			lx.advance()
+			return token{kind: tokOp, text: string(r) + "=", line: line}, nil
+		}
+		if r == '!' {
+			return token{}, fmt.Errorf("lang:%d: stray '!'", line)
+		}
+		return token{kind: tokOp, text: string(r), line: line}, nil
+	}
+	return token{}, fmt.Errorf("lang:%d: unexpected character %q", line, string(r))
+}
+
+func (lx *lexer) comment() {
+	start := lx.pos
+	for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+		lx.pos++
+	}
+	body := strings.TrimSpace(string(lx.src[start:lx.pos]))
+	body = strings.TrimPrefix(body, "#")
+	body = strings.TrimSpace(body)
+	if strings.HasPrefix(body, "@") {
+		lx.pragmas = append(lx.pragmas, body)
+	}
+}
+
+func (lx *lexer) ident(line int) token {
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		r := lx.src[lx.pos]
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.' {
+			lx.pos++
+			continue
+		}
+		break
+	}
+	return token{kind: tokIdent, text: string(lx.src[start:lx.pos]), line: line}
+}
+
+func (lx *lexer) number(line int) (token, error) {
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		r := lx.src[lx.pos]
+		if unicode.IsDigit(r) || r == '.' || r == 'e' || r == 'E' {
+			lx.pos++
+			continue
+		}
+		if (r == '+' || r == '-') && lx.pos > start && (lx.src[lx.pos-1] == 'e' || lx.src[lx.pos-1] == 'E') {
+			lx.pos++
+			continue
+		}
+		break
+	}
+	text := string(lx.src[start:lx.pos])
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return token{}, fmt.Errorf("lang:%d: bad number %q", line, text)
+	}
+	return token{kind: tokNumber, text: text, num: v, line: line}, nil
+}
+
+func (lx *lexer) str(line int) (token, error) {
+	lx.advance() // opening quote
+	start := lx.pos
+	for lx.pos < len(lx.src) && lx.src[lx.pos] != '"' {
+		if lx.src[lx.pos] == '\n' {
+			return token{}, fmt.Errorf("lang:%d: unterminated string", line)
+		}
+		lx.pos++
+	}
+	if lx.pos >= len(lx.src) {
+		return token{}, fmt.Errorf("lang:%d: unterminated string", line)
+	}
+	text := string(lx.src[start:lx.pos])
+	lx.advance() // closing quote
+	return token{kind: tokString, text: text, line: line}, nil
+}

@@ -1,0 +1,258 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse compiles a script into a Program. Errors carry line numbers.
+func Parse(src string) (*Program, error) {
+	toks, pragmas, err := newLexer(src).lex()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmts, err := p.stmts(tokEOF)
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{Stmts: stmts, Symmetric: map[string]bool{}}
+	for _, pragma := range pragmas {
+		fields := strings.Fields(pragma)
+		if len(fields) >= 2 && fields[0] == "@symmetric" {
+			for _, name := range fields[1:] {
+				prog.Symmetric[name] = true
+			}
+		}
+	}
+	return prog, nil
+}
+
+// MustParse is Parse that panics on error; for tests and embedded scripts.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) take() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t := p.take()
+	if t.kind != kind {
+		return t, fmt.Errorf("lang:%d: expected %s, got %s", t.line, what, t)
+	}
+	return t, nil
+}
+
+// stmts parses statements until the terminator kind (EOF or closing brace).
+func (p *parser) stmts(until tokenKind) ([]Stmt, error) {
+	var out []Stmt
+	for {
+		t := p.peek()
+		if t.kind == until {
+			p.take()
+			return out, nil
+		}
+		if t.kind == tokEOF {
+			return nil, fmt.Errorf("lang:%d: unexpected end of input", t.line)
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.peek()
+	if t.kind == tokIdent && t.text == "while" {
+		return p.whileStmt()
+	}
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("lang:%d: expected statement, got %s", t.line, t)
+	}
+	name := p.take().text
+	if op, err := p.expect(tokOp, `"="`); err != nil || op.text != "=" {
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("lang:%d: expected \"=\", got %q", op.line, op.text)
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &Assign{Name: name, Expr: e}, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	p.take() // while
+	if _, err := p.expect(tokLParen, `"("`); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, `")"`); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace, `"{"`); err != nil {
+		return nil, err
+	}
+	body, err := p.stmts(tokRBrace)
+	if err != nil {
+		return nil, err
+	}
+	return &While{Cond: cond, Body: body}, nil
+}
+
+// Precedence climbing: comparison < additive < multiplicative < unary.
+func (p *parser) expr() (Expr, error) { return p.comparison() }
+
+func (p *parser) comparison() (Expr, error) {
+	left, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokOp && isComparison(t.text) {
+		p.take()
+		right, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		return &Bin{Op: t.text, L: left, R: right}, nil
+	}
+	return left, nil
+}
+
+func isComparison(op string) bool {
+	switch op {
+	case "<", ">", "<=", ">=", "==", "!=":
+		return true
+	}
+	return false
+}
+
+func (p *parser) additive() (Expr, error) {
+	left, err := p.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp || (t.text != "+" && t.text != "-") {
+			return left, nil
+		}
+		p.take()
+		right, err := p.multiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &Bin{Op: t.text, L: left, R: right}
+	}
+}
+
+func (p *parser) multiplicative() (Expr, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp || (t.text != "*" && t.text != "/" && t.text != "%*%") {
+			return left, nil
+		}
+		p.take()
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		left = &Bin{Op: t.text, L: left, R: right}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.peek()
+	if t.kind == tokOp && t.text == "-" {
+		p.take()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Un{Op: "-", X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.take()
+	switch t.kind {
+	case tokNumber:
+		return &Num{V: t.num}, nil
+	case tokString:
+		return &Str{V: t.text}, nil
+	case tokLParen:
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, `")"`); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokIdent:
+		if p.peek().kind == tokLParen {
+			return p.call(t)
+		}
+		return &Ref{Name: t.text}, nil
+	}
+	return nil, fmt.Errorf("lang:%d: expected expression, got %s", t.line, t)
+}
+
+func (p *parser) call(name token) (Expr, error) {
+	arity, ok := Builtins[name.text]
+	if !ok {
+		return nil, fmt.Errorf("lang:%d: unknown function %q", name.line, name.text)
+	}
+	p.take() // (
+	var args []Expr
+	if p.peek().kind != tokRParen {
+		for {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.take()
+		}
+	}
+	if _, err := p.expect(tokRParen, `")"`); err != nil {
+		return nil, err
+	}
+	if len(args) != arity {
+		return nil, fmt.Errorf("lang:%d: %s takes %d argument(s), got %d", name.line, name.text, arity, len(args))
+	}
+	return &Call{Fn: name.text, Args: args}, nil
+}

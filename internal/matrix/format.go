@@ -1,0 +1,166 @@
+package matrix
+
+// This file implements format conversion and the physical size model used by
+// the cost model's transmission terms (§4.2: size(V) = α·S_V + β for CSR).
+
+// ToDense returns a dense copy of the matrix (or the matrix itself when it
+// is already dense).
+func (m *Matrix) ToDense() *Matrix {
+	if m.format == Dense {
+		return m
+	}
+	d := NewDense(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			d.data[i*m.cols+m.colIdx[p]] = m.vals[p]
+		}
+	}
+	return d
+}
+
+// ToCSR returns a CSR copy of the matrix (or the matrix itself when it is
+// already CSR). Zero dense entries are dropped.
+func (m *Matrix) ToCSR() *Matrix {
+	if m.format == CSR {
+		return m
+	}
+	nnz := m.NNZ()
+	rowPtr := make([]int, m.rows+1)
+	colIdx := make([]int, 0, nnz)
+	vals := make([]float64, 0, nnz)
+	for i := 0; i < m.rows; i++ {
+		base := i * m.cols
+		for j := 0; j < m.cols; j++ {
+			if v := m.data[base+j]; v != 0 {
+				colIdx = append(colIdx, j)
+				vals = append(vals, v)
+			}
+		}
+		rowPtr[i+1] = len(vals)
+	}
+	return NewCSR(m.rows, m.cols, rowPtr, colIdx, vals)
+}
+
+// Compact returns the matrix in the format SystemDS would choose for its
+// sparsity: dense above DenseThreshold, CSR otherwise. The receiver may be
+// returned unchanged.
+func (m *Matrix) Compact() *Matrix {
+	if m.Sparsity() > DenseThreshold {
+		return m.ToDense()
+	}
+	return m.ToCSR()
+}
+
+// Size-model constants. A dense cell is one float64; a CSR entry stores a
+// value plus a column index; a CSR row adds one row-pointer. These drive the
+// D_pr byte volumes of the transmission cost (§4.2).
+const (
+	bytesPerValue  = 8
+	bytesPerColIdx = 4
+	bytesPerRowPtr = 8
+	headerBytes    = 64 // block metadata fields (dims, nnz, format tag)
+)
+
+// SizeBytes returns the serialized size of the matrix in its current format.
+func (m *Matrix) SizeBytes() int64 {
+	return SizeBytesFor(m.rows, m.cols, m.Sparsity())
+}
+
+// SizeBytesFor returns the modelled serialized size for a rows×cols matrix
+// of the given sparsity, choosing the format the runtime would choose. This
+// is the α·S+β linear model of §4.2: for CSR, α·S is the values+indexes
+// array and β the row pointers and metadata.
+func SizeBytesFor(rows, cols int, sparsity float64) int64 {
+	cells := float64(rows) * float64(cols)
+	if sparsity > DenseThreshold {
+		return int64(cells*bytesPerValue) + headerBytes
+	}
+	nnz := cells * sparsity
+	alpha := nnz * (bytesPerValue + bytesPerColIdx)
+	beta := float64(rows)*bytesPerRowPtr + headerBytes
+	return int64(alpha + beta)
+}
+
+// DenseRow returns the i-th row as a dense slice (a copy for CSR, a view
+// into the backing array for dense matrices — callers must not mutate it).
+func (m *Matrix) DenseRow(i int) []float64 {
+	if m.format == Dense {
+		return m.data[i*m.cols : (i+1)*m.cols]
+	}
+	row := make([]float64, m.cols)
+	for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+		row[m.colIdx[p]] = m.vals[p]
+	}
+	return row
+}
+
+// RowNNZ returns the number of stored nonzeros in row i.
+func (m *Matrix) RowNNZ(i int) int {
+	if m.format == CSR {
+		return m.rowPtr[i+1] - m.rowPtr[i]
+	}
+	n := 0
+	for j := 0; j < m.cols; j++ {
+		if m.data[i*m.cols+j] != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ColNNZCounts returns a vector of per-column nonzero counts (used by the
+// MNC sparsity estimator).
+func (m *Matrix) ColNNZCounts() []int {
+	counts := make([]int, m.cols)
+	if m.format == CSR {
+		for _, j := range m.colIdx {
+			counts[j]++
+		}
+		return counts
+	}
+	for i := 0; i < m.rows; i++ {
+		base := i * m.cols
+		for j := 0; j < m.cols; j++ {
+			if m.data[base+j] != 0 {
+				counts[j]++
+			}
+		}
+	}
+	return counts
+}
+
+// RowNNZCounts returns a vector of per-row nonzero counts.
+func (m *Matrix) RowNNZCounts() []int {
+	counts := make([]int, m.rows)
+	if m.format == CSR {
+		for i := 0; i < m.rows; i++ {
+			counts[i] = m.rowPtr[i+1] - m.rowPtr[i]
+		}
+		return counts
+	}
+	for i := 0; i < m.rows; i++ {
+		counts[i] = m.RowNNZ(i)
+	}
+	return counts
+}
+
+// ForEachNonzero calls fn for every structurally nonzero element in row
+// order. For dense matrices, zero values are skipped.
+func (m *Matrix) ForEachNonzero(fn func(i, j int, v float64)) {
+	if m.format == CSR {
+		for i := 0; i < m.rows; i++ {
+			for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+				fn(i, m.colIdx[p], m.vals[p])
+			}
+		}
+		return
+	}
+	for i := 0; i < m.rows; i++ {
+		base := i * m.cols
+		for j := 0; j < m.cols; j++ {
+			if v := m.data[base+j]; v != 0 {
+				fn(i, j, v)
+			}
+		}
+	}
+}

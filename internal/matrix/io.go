@@ -1,0 +1,220 @@
+package matrix
+
+// This file implements matrix serialization: a text CSV form for
+// interoperability and a compact binary form (dense or CSR payload, little
+// endian) for fast round-trips. The cmd tools use these to load user
+// matrices; the binary format is also the reference for the size model's
+// byte accounting.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV writes the matrix as comma-separated rows.
+func (m *Matrix) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < m.rows; i++ {
+		row := m.DenseRow(i)
+		for j, v := range row {
+			if j > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses comma-separated rows into a matrix. All rows must have the
+// same number of fields. The result is compacted to the economical format.
+func ReadCSV(r io.Reader) (*Matrix, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<26)
+	var data []float64
+	rows, cols := 0, -1
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if cols == -1 {
+			cols = len(fields)
+		} else if len(fields) != cols {
+			return nil, fmt.Errorf("matrix: csv row %d has %d fields, want %d", rows+1, len(fields), cols)
+		}
+		for _, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("matrix: csv row %d: %w", rows+1, err)
+			}
+			data = append(data, v)
+		}
+		rows++
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if rows == 0 || cols <= 0 {
+		return nil, fmt.Errorf("matrix: empty csv input")
+	}
+	return NewDenseData(rows, cols, data).Compact(), nil
+}
+
+// Binary format:
+//
+//	magic "RMX1" | format byte (0 dense, 1 CSR) | int64 rows | int64 cols |
+//	dense: rows*cols float64
+//	CSR:   int64 nnz | (rows+1) int64 rowPtr | nnz int64 colIdx | nnz float64
+const binaryMagic = "RMX1"
+
+// WriteBinary writes the matrix in the compact binary format.
+func (m *Matrix) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(byte(m.format)); err != nil {
+		return err
+	}
+	if err := writeInts(bw, int64(m.rows), int64(m.cols)); err != nil {
+		return err
+	}
+	if m.format == Dense {
+		if err := binary.Write(bw, binary.LittleEndian, m.data); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	if err := writeInts(bw, int64(len(m.vals))); err != nil {
+		return err
+	}
+	for _, p := range m.rowPtr {
+		if err := writeInts(bw, int64(p)); err != nil {
+			return err
+		}
+	}
+	for _, c := range m.colIdx {
+		if err := writeInts(bw, int64(c)); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, m.vals); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeInts(w io.Writer, vs ...int64) error {
+	for _, v := range vs {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBinary parses the compact binary format.
+func ReadBinary(r io.Reader) (*Matrix, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("matrix: binary header: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("matrix: bad magic %q", magic)
+	}
+	formatByte, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	var rows64, cols64 int64
+	if err := readInts(br, &rows64, &cols64); err != nil {
+		return nil, err
+	}
+	rows, cols := int(rows64), int(cols64)
+	if rows <= 0 || cols <= 0 || rows64 > math.MaxInt32 || cols64 > math.MaxInt32 {
+		return nil, fmt.Errorf("matrix: bad dims %dx%d", rows64, cols64)
+	}
+	switch Format(formatByte) {
+	case Dense:
+		data := make([]float64, rows*cols)
+		if err := binary.Read(br, binary.LittleEndian, data); err != nil {
+			return nil, err
+		}
+		return NewDenseData(rows, cols, data), nil
+	case CSR:
+		var nnz64 int64
+		if err := readInts(br, &nnz64); err != nil {
+			return nil, err
+		}
+		if nnz64 < 0 || nnz64 > int64(rows)*int64(cols) {
+			return nil, fmt.Errorf("matrix: bad nnz %d", nnz64)
+		}
+		nnz := int(nnz64)
+		rowPtr := make([]int, rows+1)
+		if err := readIntSlice(br, rowPtr); err != nil {
+			return nil, err
+		}
+		colIdx := make([]int, nnz)
+		if err := readIntSlice(br, colIdx); err != nil {
+			return nil, err
+		}
+		vals := make([]float64, nnz)
+		if err := binary.Read(br, binary.LittleEndian, vals); err != nil {
+			return nil, err
+		}
+		if rowPtr[rows] != nnz {
+			return nil, fmt.Errorf("matrix: rowPtr[last]=%d, want %d", rowPtr[rows], nnz)
+		}
+		for i := 0; i < rows; i++ {
+			if rowPtr[i] > rowPtr[i+1] {
+				return nil, fmt.Errorf("matrix: rowPtr not monotone at %d", i)
+			}
+		}
+		for _, c := range colIdx {
+			if c < 0 || c >= cols {
+				return nil, fmt.Errorf("matrix: column index %d out of %d", c, cols)
+			}
+		}
+		return NewCSR(rows, cols, rowPtr, colIdx, vals), nil
+	default:
+		return nil, fmt.Errorf("matrix: unknown format byte %d", formatByte)
+	}
+}
+
+func readInts(r io.Reader, vs ...*int64) error {
+	for _, v := range vs {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readIntSlice(r io.Reader, out []int) error {
+	buf := make([]int64, len(out))
+	if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+		return err
+	}
+	for i, v := range buf {
+		if v < 0 || v > math.MaxInt32 {
+			return fmt.Errorf("matrix: bad index %d", v)
+		}
+		out[i] = int(v)
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package matrix
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCSVRoundTripDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := RandDense(rng, 7, 5)
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.ToDense().ApproxEqual(m, 1e-15) {
+		t.Fatal("CSV round trip changed values")
+	}
+}
+
+func TestCSVRoundTripSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := RandSparse(rng, 20, 30, 0.1)
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Format() != CSR {
+		t.Error("sparse data should compact to CSR on read")
+	}
+	if !back.ToDense().ApproxEqual(m.ToDense(), 1e-15) {
+		t.Fatal("CSV round trip changed values")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",       // empty
+		"1,2\n3", // ragged
+		"1,x",    // non-numeric
+	}
+	for _, src := range cases {
+		if _, err := ReadCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadCSV(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestReadCSVSkipsBlankLines(t *testing.T) {
+	m, err := ReadCSV(strings.NewReader("1,2\n\n3,4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 2 || m.At(1, 1) != 4 {
+		t.Fatalf("got %v", m)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, m := range []*Matrix{
+		RandDense(rng, 9, 4),
+		RandSparse(rng, 15, 25, 0.15),
+		NewCSR(2, 2, []int{0, 0, 0}, nil, nil), // empty sparse
+	} {
+		var buf bytes.Buffer
+		if err := m.WriteBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Format() != m.Format() {
+			t.Errorf("format changed: %v -> %v", m.Format(), back.Format())
+		}
+		if !back.ToDense().Equal(m.ToDense()) {
+			t.Error("binary round trip changed values")
+		}
+	}
+}
+
+func TestReadBinaryRejectsCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := RandSparse(rng, 8, 8, 0.3)
+	var buf bytes.Buffer
+	if err := m.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("XXXX"), good[4:]...),
+		"truncated": good[:len(good)/2],
+		"bad format": func() []byte {
+			b := append([]byte(nil), good...)
+			b[4] = 9
+			return b
+		}(),
+	}
+	for name, b := range cases {
+		if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestPropBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64, r, c uint8, sparse bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := int(r%20)+1, int(c%20)+1
+		var m *Matrix
+		if sparse {
+			m = RandSparse(rng, rows, cols, 0.3)
+		} else {
+			m = RandDense(rng, rows, cols)
+		}
+		var buf bytes.Buffer
+		if err := m.WriteBinary(&buf); err != nil {
+			return false
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return back.ToDense().Equal(m.ToDense())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,258 @@
+// Package matrix implements the local matrix kernels that underpin the
+// distributed matrix runtime, mirroring the block operations of SystemDS.
+//
+// A Matrix is either dense (row-major float64 slice) or sparse (compressed
+// sparse rows). Following SystemDS, the runtime stores a matrix densely when
+// its sparsity exceeds DenseThreshold and in CSR otherwise; callers that
+// build matrices incrementally can ask for the economical format with
+// Compact.
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Format identifies the physical representation of a Matrix.
+type Format int
+
+const (
+	// Dense is a row-major []float64 of length rows*cols.
+	Dense Format = iota
+	// CSR is compressed sparse rows: rowPtr, colIdx, vals.
+	CSR
+)
+
+// String returns the SystemDS-style name of the format.
+func (f Format) String() string {
+	switch f {
+	case Dense:
+		return "dense"
+	case CSR:
+		return "sparse"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// DenseThreshold is the sparsity above which SystemDS (and hence this
+// runtime) stores a matrix densely. See §4.2 of the paper: "we use a dense
+// format if S > 0.4".
+const DenseThreshold = 0.4
+
+// CSRThreshold is the sparsity above which a sparse matrix uses CSR rather
+// than an ultra-sparse coordinate encoding (paper: 0.0004 < S <= 0.4 uses
+// compressed sparse rows). We use CSR for everything at or below
+// DenseThreshold; the size model in SizeBytes still distinguishes the
+// ultra-sparse regime.
+const CSRThreshold = 0.0004
+
+// Matrix is a two-dimensional float64 matrix in either dense or CSR format.
+// The zero value is not usable; use the constructors.
+type Matrix struct {
+	rows, cols int
+	format     Format
+
+	// dense payload (format == Dense)
+	data []float64
+
+	// CSR payload (format == CSR)
+	rowPtr []int
+	colIdx []int
+	vals   []float64
+}
+
+// NewDense returns a rows×cols dense zero matrix.
+func NewDense(rows, cols int) *Matrix {
+	checkDims(rows, cols)
+	return &Matrix{rows: rows, cols: cols, format: Dense, data: make([]float64, rows*cols)}
+}
+
+// NewDenseData wraps data (row-major, length rows*cols) as a dense matrix.
+// The slice is owned by the matrix afterwards.
+func NewDenseData(rows, cols int, data []float64) *Matrix {
+	checkDims(rows, cols)
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("matrix: NewDenseData %dx%d needs %d values, got %d", rows, cols, rows*cols, len(data)))
+	}
+	return &Matrix{rows: rows, cols: cols, format: Dense, data: data}
+}
+
+// NewCSR returns a rows×cols sparse matrix from raw CSR arrays. The arrays
+// are owned by the matrix afterwards. Column indices within a row must be
+// strictly increasing.
+func NewCSR(rows, cols int, rowPtr, colIdx []int, vals []float64) *Matrix {
+	checkDims(rows, cols)
+	if len(rowPtr) != rows+1 {
+		panic(fmt.Sprintf("matrix: NewCSR rowPtr length %d, want %d", len(rowPtr), rows+1))
+	}
+	if len(colIdx) != len(vals) {
+		panic(fmt.Sprintf("matrix: NewCSR colIdx/vals length mismatch %d vs %d", len(colIdx), len(vals)))
+	}
+	if rowPtr[rows] != len(vals) {
+		panic(fmt.Sprintf("matrix: NewCSR rowPtr[last]=%d, want %d", rowPtr[rows], len(vals)))
+	}
+	return &Matrix{rows: rows, cols: cols, format: CSR, rowPtr: rowPtr, colIdx: colIdx, vals: vals}
+}
+
+// Identity returns the n×n dense identity matrix.
+func Identity(n int) *Matrix {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Scalar returns a 1×1 matrix holding v. The runtime models scalars as 1×1
+// matrices, like SystemDS does internally.
+func Scalar(v float64) *Matrix {
+	return NewDenseData(1, 1, []float64{v})
+}
+
+func checkDims(rows, cols int) {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("matrix: non-positive dimensions %dx%d", rows, cols))
+	}
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Format returns the physical representation.
+func (m *Matrix) Format() Format { return m.format }
+
+// IsVector reports whether the matrix has a single row or column.
+func (m *Matrix) IsVector() bool { return m.rows == 1 || m.cols == 1 }
+
+// IsScalar reports whether the matrix is 1×1.
+func (m *Matrix) IsScalar() bool { return m.rows == 1 && m.cols == 1 }
+
+// ScalarValue returns the single element of a 1×1 matrix.
+func (m *Matrix) ScalarValue() float64 {
+	if !m.IsScalar() {
+		panic(fmt.Sprintf("matrix: ScalarValue on %dx%d matrix", m.rows, m.cols))
+	}
+	return m.At(0, 0)
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	m.checkIndex(i, j)
+	if m.format == Dense {
+		return m.data[i*m.cols+j]
+	}
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	// Binary search the row's column indices.
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case m.colIdx[mid] == j:
+			return m.vals[mid]
+		case m.colIdx[mid] < j:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return 0
+}
+
+// Set stores v at (i, j). The matrix must be dense; sparse matrices are
+// immutable once built (as in SystemDS block semantics).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.checkIndex(i, j)
+	if m.format != Dense {
+		panic("matrix: Set on sparse matrix")
+	}
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix) checkIndex(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// NNZ returns the number of structurally stored nonzero elements. For dense
+// matrices it counts exact nonzero values.
+func (m *Matrix) NNZ() int {
+	if m.format == CSR {
+		return len(m.vals)
+	}
+	n := 0
+	for _, v := range m.data {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Sparsity returns NNZ / (rows*cols).
+func (m *Matrix) Sparsity() float64 {
+	return float64(m.NNZ()) / (float64(m.rows) * float64(m.cols))
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{rows: m.rows, cols: m.cols, format: m.format}
+	if m.format == Dense {
+		c.data = append([]float64(nil), m.data...)
+		return c
+	}
+	c.rowPtr = append([]int(nil), m.rowPtr...)
+	c.colIdx = append([]int(nil), m.colIdx...)
+	c.vals = append([]float64(nil), m.vals...)
+	return c
+}
+
+// Equal reports exact element-wise equality.
+func (m *Matrix) Equal(other *Matrix) bool {
+	return m.ApproxEqual(other, 0)
+}
+
+// ApproxEqual reports element-wise equality within tol (absolute or relative,
+// whichever is looser).
+func (m *Matrix) ApproxEqual(other *Matrix, tol float64) bool {
+	if m.rows != other.rows || m.cols != other.cols {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			a, b := m.At(i, j), other.At(i, j)
+			if a == b {
+				continue
+			}
+			diff := math.Abs(a - b)
+			scale := math.Max(math.Abs(a), math.Abs(b))
+			if diff > tol && diff > tol*scale {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders small matrices fully and large ones as a summary.
+func (m *Matrix) String() string {
+	if m.rows*m.cols > 64 {
+		return fmt.Sprintf("Matrix(%dx%d %s nnz=%d)", m.rows, m.cols, m.format, m.NNZ())
+	}
+	s := fmt.Sprintf("Matrix(%dx%d %s)[", m.rows, m.cols, m.format)
+	for i := 0; i < m.rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}

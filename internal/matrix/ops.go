@@ -1,0 +1,212 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the element-wise, scalar and reduction operators the
+// DML runtime needs besides multiplication.
+
+// Transpose returns mᵀ in the same format as m.
+func (m *Matrix) Transpose() *Matrix {
+	if m.format == Dense {
+		t := NewDense(m.cols, m.rows)
+		for i := 0; i < m.rows; i++ {
+			base := i * m.cols
+			for j := 0; j < m.cols; j++ {
+				t.data[j*m.rows+i] = m.data[base+j]
+			}
+		}
+		return t
+	}
+	// CSR transpose via column counting (classic two-pass).
+	nnz := len(m.vals)
+	rowPtr := make([]int, m.cols+1)
+	for _, j := range m.colIdx {
+		rowPtr[j+1]++
+	}
+	for j := 0; j < m.cols; j++ {
+		rowPtr[j+1] += rowPtr[j]
+	}
+	colIdx := make([]int, nnz)
+	vals := make([]float64, nnz)
+	next := append([]int(nil), rowPtr[:m.cols]...)
+	for i := 0; i < m.rows; i++ {
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			j := m.colIdx[p]
+			q := next[j]
+			next[j]++
+			colIdx[q] = i
+			vals[q] = m.vals[p]
+		}
+	}
+	return NewCSR(m.cols, m.rows, rowPtr, colIdx, vals)
+}
+
+func (m *Matrix) checkSameShape(other *Matrix, op string) {
+	if m.rows != other.rows || m.cols != other.cols {
+		panic(fmt.Sprintf("matrix: %s shape mismatch %dx%d vs %dx%d", op, m.rows, m.cols, other.rows, other.cols))
+	}
+}
+
+func zipDense(a, b *Matrix, f func(x, y float64) float64) *Matrix {
+	ad, bd := a.ToDense(), b.ToDense()
+	out := NewDense(a.rows, a.cols)
+	for i := range out.data {
+		out.data[i] = f(ad.data[i], bd.data[i])
+	}
+	return out
+}
+
+// Add returns m + other.
+func (m *Matrix) Add(other *Matrix) *Matrix {
+	m.checkSameShape(other, "Add")
+	if m.format == CSR && other.format == CSR {
+		return addCSR(m, other, 1).Compact()
+	}
+	return zipDense(m, other, func(x, y float64) float64 { return x + y }).Compact()
+}
+
+// Sub returns m - other.
+func (m *Matrix) Sub(other *Matrix) *Matrix {
+	m.checkSameShape(other, "Sub")
+	if m.format == CSR && other.format == CSR {
+		return addCSR(m, other, -1).Compact()
+	}
+	return zipDense(m, other, func(x, y float64) float64 { return x - y }).Compact()
+}
+
+// addCSR merges two CSR matrices row-wise computing a + sign*b.
+func addCSR(a, b *Matrix, sign float64) *Matrix {
+	rowPtr := make([]int, a.rows+1)
+	colIdx := make([]int, 0, len(a.vals)+len(b.vals))
+	vals := make([]float64, 0, len(a.vals)+len(b.vals))
+	for i := 0; i < a.rows; i++ {
+		pa, pb := a.rowPtr[i], b.rowPtr[i]
+		ea, eb := a.rowPtr[i+1], b.rowPtr[i+1]
+		for pa < ea || pb < eb {
+			switch {
+			case pb >= eb || (pa < ea && a.colIdx[pa] < b.colIdx[pb]):
+				colIdx = append(colIdx, a.colIdx[pa])
+				vals = append(vals, a.vals[pa])
+				pa++
+			case pa >= ea || b.colIdx[pb] < a.colIdx[pa]:
+				colIdx = append(colIdx, b.colIdx[pb])
+				vals = append(vals, sign*b.vals[pb])
+				pb++
+			default:
+				v := a.vals[pa] + sign*b.vals[pb]
+				if v != 0 {
+					colIdx = append(colIdx, a.colIdx[pa])
+					vals = append(vals, v)
+				}
+				pa++
+				pb++
+			}
+		}
+		rowPtr[i+1] = len(vals)
+	}
+	return NewCSR(a.rows, a.cols, rowPtr, colIdx, vals)
+}
+
+// ElemMul returns the Hadamard product m ⊙ other.
+func (m *Matrix) ElemMul(other *Matrix) *Matrix {
+	m.checkSameShape(other, "ElemMul")
+	if m.format == CSR {
+		// Walk the sparser operand's structure.
+		rowPtr := make([]int, m.rows+1)
+		colIdx := make([]int, 0, len(m.vals))
+		vals := make([]float64, 0, len(m.vals))
+		for i := 0; i < m.rows; i++ {
+			for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+				j := m.colIdx[p]
+				v := m.vals[p] * other.At(i, j)
+				if v != 0 {
+					colIdx = append(colIdx, j)
+					vals = append(vals, v)
+				}
+			}
+			rowPtr[i+1] = len(vals)
+		}
+		return NewCSR(m.rows, m.cols, rowPtr, colIdx, vals).Compact()
+	}
+	if other.format == CSR {
+		return other.ElemMul(m)
+	}
+	return zipDense(m, other, func(x, y float64) float64 { return x * y }).Compact()
+}
+
+// ElemDiv returns element-wise m / other (IEEE semantics for zero divisors).
+func (m *Matrix) ElemDiv(other *Matrix) *Matrix {
+	m.checkSameShape(other, "ElemDiv")
+	return zipDense(m, other, func(x, y float64) float64 { return x / y }).Compact()
+}
+
+// Scale returns s · m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	if s == 0 {
+		return NewDense(m.rows, m.cols).Compact()
+	}
+	out := m.Clone()
+	if out.format == Dense {
+		for i := range out.data {
+			out.data[i] *= s
+		}
+		return out
+	}
+	for i := range out.vals {
+		out.vals[i] *= s
+	}
+	return out
+}
+
+// AddScalar returns m + s on every element (densifying).
+func (m *Matrix) AddScalar(s float64) *Matrix {
+	d := m.ToDense().Clone()
+	for i := range d.data {
+		d.data[i] += s
+	}
+	return d.Compact()
+}
+
+// Sum returns the sum of all elements.
+func (m *Matrix) Sum() float64 {
+	total := 0.0
+	if m.format == Dense {
+		for _, v := range m.data {
+			total += v
+		}
+		return total
+	}
+	for _, v := range m.vals {
+		total += v
+	}
+	return total
+}
+
+// FrobeniusNorm returns sqrt(Σ x²).
+func (m *Matrix) FrobeniusNorm() float64 {
+	total := 0.0
+	if m.format == Dense {
+		for _, v := range m.data {
+			total += v * v
+		}
+	} else {
+		for _, v := range m.vals {
+			total += v * v
+		}
+	}
+	return math.Sqrt(total)
+}
+
+// Neg returns -m.
+func (m *Matrix) Neg() *Matrix { return m.Scale(-1) }
+
+// IsSymmetric reports whether m equals its transpose within tol.
+func (m *Matrix) IsSymmetric(tol float64) bool {
+	if m.rows != m.cols {
+		return false
+	}
+	return m.ApproxEqual(m.Transpose(), tol)
+}

@@ -1,0 +1,168 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests of the algebraic identities the optimizer's rewrites
+// rely on. Every rewrite ReMac performs (transpose push-down, associativity
+// regrouping, distributive expansion) is only sound if these identities hold
+// on the kernels.
+
+type dims struct{ n, k, p int }
+
+func clampDim(v uint8) int { return int(v%12) + 1 }
+
+func randomMatrixPair(seed int64, d dims, sparse bool) (*Matrix, *Matrix) {
+	rng := rand.New(rand.NewSource(seed))
+	if sparse {
+		return RandSparse(rng, d.n, d.k, 0.3), RandSparse(rng, d.k, d.p, 0.3)
+	}
+	return RandDense(rng, d.n, d.k), RandDense(rng, d.k, d.p)
+}
+
+func TestPropTransposeOfProduct(t *testing.T) {
+	// (AB)ᵀ = BᵀAᵀ
+	f := func(seed int64, a, b, c uint8, sparse bool) bool {
+		d := dims{clampDim(a), clampDim(b), clampDim(c)}
+		A, B := randomMatrixPair(seed, d, sparse)
+		left := A.Mul(B).Transpose()
+		right := B.Transpose().Mul(A.Transpose())
+		return left.ApproxEqual(right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropAssociativity(t *testing.T) {
+	// (AB)C = A(BC) — the identity that lets the block-wise search disregard
+	// the internal execution order of multiplication chains (Rationale 3).
+	f := func(seed int64, a, b, c, d uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, k, p, q := clampDim(a), clampDim(b), clampDim(c), clampDim(d)
+		A := RandDense(rng, n, k)
+		B := RandDense(rng, k, p)
+		C := RandDense(rng, p, q)
+		left := A.Mul(B).Mul(C)
+		right := A.Mul(B.Mul(C))
+		return left.ApproxEqual(right, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropDistributivity(t *testing.T) {
+	// A(B+C) = AB + AC — the identity behind the expansion in search step 2.
+	f := func(seed int64, a, b, c uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, k, p := clampDim(a), clampDim(b), clampDim(c)
+		A := RandDense(rng, n, k)
+		B := RandDense(rng, k, p)
+		C := RandDense(rng, k, p)
+		left := A.Mul(B.Add(C))
+		right := A.Mul(B).Add(A.Mul(C))
+		return left.ApproxEqual(right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropTransposeInvolution(t *testing.T) {
+	f := func(seed int64, a, b uint8, sparse bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, k := clampDim(a), clampDim(b)
+		var A *Matrix
+		if sparse {
+			A = RandSparse(rng, n, k, 0.3)
+		} else {
+			A = RandDense(rng, n, k)
+		}
+		return A.Transpose().Transpose().ApproxEqual(A, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropAddCommutes(t *testing.T) {
+	f := func(seed int64, a, b uint8, sparse bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, k := clampDim(a), clampDim(b)
+		var A, B *Matrix
+		if sparse {
+			A, B = RandSparse(rng, n, k, 0.4), RandSparse(rng, n, k, 0.4)
+		} else {
+			A, B = RandDense(rng, n, k), RandDense(rng, n, k)
+		}
+		return A.Add(B).ApproxEqual(B.Add(A), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropRoundTripPreservesValues(t *testing.T) {
+	f := func(seed int64, a, b uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, k := clampDim(a), clampDim(b)
+		A := RandSparse(rng, n, k, 0.5)
+		return A.ToDense().ToCSR().ToDense().Equal(A.ToDense())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSparsityBounds(t *testing.T) {
+	f := func(seed int64, a, b uint8, s float64) bool {
+		if s < 0 {
+			s = -s
+		}
+		for s > 1 {
+			s /= 2
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n, k := clampDim(a)*10, clampDim(b)*10
+		A := RandSparse(rng, n, k, s)
+		got := A.Sparsity()
+		return got >= 0 && got <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropScaleLinear(t *testing.T) {
+	// (sA)·B = s(A·B)
+	f := func(seed int64, a, b, c uint8, sRaw int8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := float64(sRaw) / 16
+		n, k, p := clampDim(a), clampDim(b), clampDim(c)
+		A := RandDense(rng, n, k)
+		B := RandDense(rng, k, p)
+		return A.Scale(s).Mul(B).ApproxEqual(A.Mul(B).Scale(s), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSymmetricATA(t *testing.T) {
+	// AᵀA is always symmetric — the property that lets the canonical-key
+	// normalization treat AH and HAᵀ as the same subexpression when H is
+	// symmetric.
+	f := func(seed int64, a, b uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, k := clampDim(a), clampDim(b)
+		A := RandDense(rng, n, k)
+		return A.Transpose().Mul(A).IsSymmetric(1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

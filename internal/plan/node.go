@@ -1,0 +1,262 @@
+// Package plan implements ReMac's plan trees — the operator-tree
+// representation between the parsed script and the runtime (SystemDS's HOP
+// layer) — together with the algebraic transforms the block-wise search
+// builds on: transposition push-down (§3.2 step 1) and distributive
+// expansion (§3.2 step 2), plus the explicit-CSE detection stock SystemDS
+// performs on identical subtrees.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"remac/internal/sparsity"
+)
+
+// Kind enumerates plan operators.
+type Kind int
+
+const (
+	// Leaf references a matrix (or scalar) symbol.
+	Leaf Kind = iota
+	// Const is a numeric literal (a scalar).
+	Const
+	// MMul is matrix multiplication.
+	MMul
+	// Add is element-wise addition (also scalar+scalar).
+	Add
+	// Sub is element-wise subtraction.
+	Sub
+	// EMul is element-wise (or scalar) multiplication.
+	EMul
+	// EDiv is element-wise (or scalar) division.
+	EDiv
+	// Trans is transposition.
+	Trans
+	// Neg is unary minus.
+	Neg
+	// SumAll reduces a matrix to the scalar sum of its elements.
+	SumAll
+	// AsScalar converts a 1×1 matrix to a scalar.
+	AsScalar
+	// Sqrt is scalar square root.
+	Sqrt
+	// Abs is scalar absolute value.
+	Abs
+	// NRows yields the row count of its operand as a scalar.
+	NRows
+	// NCols yields the column count of its operand as a scalar.
+	NCols
+)
+
+var kindNames = map[Kind]string{
+	Leaf: "leaf", Const: "const", MMul: "%*%", Add: "+", Sub: "-",
+	EMul: "*", EDiv: "/", Trans: "t", Neg: "neg", SumAll: "sum",
+	AsScalar: "as.scalar", Sqrt: "sqrt", Abs: "abs",
+	NRows: "nrow", NCols: "ncol",
+}
+
+// String names the operator.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Node is a plan-tree node. Nodes are treated as immutable after
+// construction; transforms build new trees.
+type Node struct {
+	Kind Kind
+	// Sym is the symbol name for Leaf nodes. Versioned re-assignments of
+	// loop-carried variables get distinct symbols ("H#2") so values from
+	// different program points never unify.
+	Sym string
+	// Val is the literal value for Const nodes.
+	Val float64
+	// Kids are the operand subtrees.
+	Kids []*Node
+	// LoopConst marks subtrees whose value cannot change across loop
+	// iterations (every referenced symbol is loop-constant).
+	LoopConst bool
+}
+
+// NewLeaf returns a symbol reference.
+func NewLeaf(sym string, loopConst bool) *Node {
+	return &Node{Kind: Leaf, Sym: sym, LoopConst: loopConst}
+}
+
+// NewConst returns a literal node (always loop-constant).
+func NewConst(v float64) *Node { return &Node{Kind: Const, Val: v, LoopConst: true} }
+
+// NewBin returns a binary operator node.
+func NewBin(k Kind, l, r *Node) *Node {
+	return &Node{Kind: k, Kids: []*Node{l, r}, LoopConst: l.LoopConst && r.LoopConst}
+}
+
+// NewUn returns a unary operator node.
+func NewUn(k Kind, x *Node) *Node {
+	return &Node{Kind: k, Kids: []*Node{x}, LoopConst: x.LoopConst}
+}
+
+// L returns the first child.
+func (n *Node) L() *Node { return n.Kids[0] }
+
+// R returns the second child.
+func (n *Node) R() *Node { return n.Kids[1] }
+
+// IsScalarKind reports whether the node is scalar-valued regardless of
+// operand shapes.
+func (n *Node) IsScalarKind() bool {
+	switch n.Kind {
+	case Const, SumAll, AsScalar, Sqrt, Abs, NRows, NCols:
+		return true
+	}
+	return false
+}
+
+// Key returns a canonical structural encoding: identical subtrees have
+// identical keys. This is the identity explicit CSE matches on.
+func (n *Node) Key() string {
+	var b strings.Builder
+	n.writeKey(&b)
+	return b.String()
+}
+
+func (n *Node) writeKey(b *strings.Builder) {
+	switch n.Kind {
+	case Leaf:
+		b.WriteString(n.Sym)
+	case Const:
+		fmt.Fprintf(b, "%g", n.Val)
+	default:
+		b.WriteString(n.Kind.String())
+		b.WriteByte('(')
+		for i, k := range n.Kids {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			k.writeKey(b)
+		}
+		b.WriteByte(')')
+	}
+}
+
+// Clone returns a deep copy.
+func (n *Node) Clone() *Node {
+	c := *n
+	if n.Kids != nil {
+		c.Kids = make([]*Node, len(n.Kids))
+		for i, k := range n.Kids {
+			c.Kids[i] = k.Clone()
+		}
+	}
+	return &c
+}
+
+// Walk visits the tree pre-order.
+func (n *Node) Walk(fn func(*Node)) {
+	fn(n)
+	for _, k := range n.Kids {
+		k.Walk(fn)
+	}
+}
+
+// Count returns the number of nodes in the tree.
+func (n *Node) Count() int {
+	c := 0
+	n.Walk(func(*Node) { c++ })
+	return c
+}
+
+// Resolver supplies leaf metadata for shape/sparsity inference.
+type Resolver interface {
+	// MetaFor returns the estimation descriptor for a leaf symbol.
+	MetaFor(sym string) (sparsity.Meta, bool)
+	// IsSymmetric reports whether a symbol is a symmetric matrix.
+	IsSymmetric(sym string) bool
+}
+
+// InferMeta computes the output shape/sparsity of a tree using an estimator
+// for operator propagation. Unknown symbols yield an error.
+func InferMeta(n *Node, r Resolver, est sparsity.Estimator) (sparsity.Meta, error) {
+	switch n.Kind {
+	case Leaf:
+		m, ok := r.MetaFor(n.Sym)
+		if !ok {
+			return sparsity.Meta{}, fmt.Errorf("plan: unknown symbol %q", n.Sym)
+		}
+		return m, nil
+	case Const:
+		return sparsity.MetaDims(1, 1, 1), nil
+	case Trans:
+		m, err := InferMeta(n.L(), r, est)
+		if err != nil {
+			return m, err
+		}
+		return est.Transpose(m), nil
+	case Neg, Sqrt, Abs:
+		m, err := InferMeta(n.L(), r, est)
+		if err != nil {
+			return m, err
+		}
+		if n.Kind == Neg {
+			return est.Scale(m), nil
+		}
+		return sparsity.MetaDims(1, 1, 1), nil
+	case SumAll, AsScalar, NRows, NCols:
+		if _, err := InferMeta(n.L(), r, est); err != nil {
+			return sparsity.Meta{}, err
+		}
+		return sparsity.MetaDims(1, 1, 1), nil
+	}
+	l, err := InferMeta(n.L(), r, est)
+	if err != nil {
+		return l, err
+	}
+	rm, err := InferMeta(n.R(), r, est)
+	if err != nil {
+		return rm, err
+	}
+	switch n.Kind {
+	case MMul:
+		if l.Cols != rm.Rows {
+			return sparsity.Meta{}, fmt.Errorf("plan: %%*%% dims %dx%d · %dx%d", l.Rows, l.Cols, rm.Rows, rm.Cols)
+		}
+		return est.Mul(l, rm), nil
+	case Add, Sub:
+		if scalarMeta(l) {
+			return rm, nil
+		}
+		if scalarMeta(rm) {
+			return l, nil
+		}
+		if l.Rows != rm.Rows || l.Cols != rm.Cols {
+			return sparsity.Meta{}, fmt.Errorf("plan: %s dims %dx%d vs %dx%d", n.Kind, l.Rows, l.Cols, rm.Rows, rm.Cols)
+		}
+		return est.Add(l, rm), nil
+	case EMul, EDiv:
+		if scalarMeta(l) {
+			return est.Scale(rm), nil
+		}
+		if scalarMeta(rm) {
+			return est.Scale(l), nil
+		}
+		if l.Rows != rm.Rows || l.Cols != rm.Cols {
+			return sparsity.Meta{}, fmt.Errorf("plan: %s dims %dx%d vs %dx%d", n.Kind, l.Rows, l.Cols, rm.Rows, rm.Cols)
+		}
+		if n.Kind == EMul {
+			return est.ElemMul(l, rm), nil
+		}
+		return sparsity.MetaDims(l.Rows, l.Cols, 1), nil
+	}
+	return sparsity.Meta{}, fmt.Errorf("plan: cannot infer meta for %v", n.Kind)
+}
+
+func scalarMeta(m sparsity.Meta) bool { return m.Rows == 1 && m.Cols == 1 }
+
+// IsScalar reports whether the tree is scalar-valued under the resolver.
+func IsScalar(n *Node, r Resolver) bool {
+	m, err := InferMeta(n, r, sparsity.Metadata{})
+	return err == nil && scalarMeta(m)
+}

@@ -1,0 +1,392 @@
+package plan
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"remac/internal/lang"
+	"remac/internal/matrix"
+	"remac/internal/sparsity"
+)
+
+const dfpSrc = `
+#@symmetric H
+A = read("A")
+b = read("b")
+H = read("H")
+x = read("x")
+i = 0
+while (i < 3) {
+    g = t(A) %*% (A %*% x - b)
+    d = H %*% g
+    H = H - (H %*% t(A) %*% A %*% d %*% t(d) %*% t(A) %*% A %*% H) / as.scalar(t(d) %*% t(A) %*% A %*% H %*% t(A) %*% A %*% d) + (d %*% t(d)) / as.scalar(2 * (t(d) %*% t(A) %*% A %*% d))
+    x = x - 0.1 * d
+    i = i + 1
+}
+`
+
+func buildDFP(t *testing.T) *Plans {
+	t.Helper()
+	p, err := Build(lang.MustParse(dfpSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuildDFPStructure(t *testing.T) {
+	p := buildDFP(t)
+	if p.Loop == nil {
+		t.Fatal("loop missing")
+	}
+	if len(p.Body) != 5 {
+		t.Fatalf("body statements = %d, want 5", len(p.Body))
+	}
+	// g and d must be inlined (absorbed into the H update).
+	byTarget := map[string]StmtPlan{}
+	for _, sp := range p.Body {
+		byTarget[sp.Target] = sp
+	}
+	if !byTarget["d"].Inlined {
+		t.Error("d = Hg is a pure product and should be inlined (the paper's substitution)")
+	}
+	if byTarget["g"].Inlined {
+		t.Error("g's definition contains a subtraction; inlining it would explode the expansion")
+	}
+	if byTarget["H"].Inlined || byTarget["x"].Inlined {
+		t.Error("H and x are loop-carried, not inlined")
+	}
+	// Loop-constant labels: A and b are never assigned in the loop.
+	if !p.LoopConst["A"] || !p.LoopConst["b"] {
+		t.Error("A, b should be loop-constant")
+	}
+	if p.LoopConst["H"] || p.LoopConst["x"] {
+		t.Error("H, x are assigned in the loop")
+	}
+	if !p.Symmetric["H"] {
+		t.Error("symmetric pragma lost")
+	}
+}
+
+func TestVersioningAfterReassign(t *testing.T) {
+	// After H is reassigned in the body, later uses must reference H#1, so
+	// values from different program points never unify.
+	src := `
+H = read("H")
+x = read("x")
+i = 0
+while (i < 2) {
+    H = H %*% H
+    x = H %*% x
+    i = i + 1
+}
+`
+	p, err := Build(lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xStmt := p.Body[1]
+	var syms []string
+	xStmt.Tree.Walk(func(n *Node) {
+		if n.Kind == Leaf {
+			syms = append(syms, n.Sym)
+		}
+	})
+	found := false
+	for _, s := range syms {
+		if s == "H#1" {
+			found = true
+		}
+		if s == "H" {
+			t.Errorf("use after reassignment must be versioned, saw plain H")
+		}
+	}
+	if !found {
+		t.Errorf("versioned H#1 not found in %v", syms)
+	}
+}
+
+func TestBuildRejectsTwoLoops(t *testing.T) {
+	src := "i = 0\nwhile (i < 1) { i = i + 1 }\nwhile (i < 2) { i = i + 1 }"
+	if _, err := Build(lang.MustParse(src)); err == nil {
+		t.Fatal("expected error for two loops")
+	}
+}
+
+// testResolver supplies shapes for symbolic tests.
+type testResolver map[string]sparsity.Meta
+
+func (r testResolver) MetaFor(sym string) (sparsity.Meta, bool) {
+	m, ok := r[strings.SplitN(sym, "#", 2)[0]]
+	return m, ok
+}
+func (r testResolver) IsSymmetric(string) bool { return false }
+
+func TestInferMeta(t *testing.T) {
+	r := testResolver{
+		"A": sparsity.MetaDims(100, 20, 0.5),
+		"x": sparsity.MetaDims(20, 1, 1),
+	}
+	tree := NewBin(MMul, NewUn(Trans, NewLeaf("A", true)), NewBin(MMul, NewLeaf("A", true), NewLeaf("x", false)))
+	m, err := InferMeta(tree, r, sparsity.Metadata{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 20 || m.Cols != 1 {
+		t.Fatalf("inferred %dx%d, want 20x1", m.Rows, m.Cols)
+	}
+}
+
+func TestInferMetaErrors(t *testing.T) {
+	r := testResolver{"A": sparsity.MetaDims(10, 5, 1)}
+	bad := NewBin(MMul, NewLeaf("A", true), NewLeaf("A", true)) // 10x5 · 10x5
+	if _, err := InferMeta(bad, r, sparsity.Metadata{}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	unknown := NewLeaf("Z", true)
+	if _, err := InferMeta(unknown, r, sparsity.Metadata{}); err == nil {
+		t.Error("unknown symbol accepted")
+	}
+}
+
+func TestPushDownTranspose(t *testing.T) {
+	// t(A %*% d) → t(d) %*% t(A)
+	tree := NewUn(Trans, NewBin(MMul, NewLeaf("A", true), NewLeaf("d", false)))
+	got := PushDownTranspose(tree, nil)
+	want := "%*%(t(d),t(A))"
+	if got.Key() != want {
+		t.Fatalf("Key = %q, want %q", got.Key(), want)
+	}
+}
+
+func TestPushDownDoubleTranspose(t *testing.T) {
+	tree := NewUn(Trans, NewUn(Trans, NewLeaf("A", true)))
+	if got := PushDownTranspose(tree, nil); got.Key() != "A" {
+		t.Fatalf("t(t(A)) should simplify to A, got %q", got.Key())
+	}
+}
+
+func TestPushDownSymmetricDropsTranspose(t *testing.T) {
+	tree := NewUn(Trans, NewLeaf("H", false))
+	got := PushDownTranspose(tree, SymTable{"H": true})
+	if got.Key() != "H" {
+		t.Fatalf("t(H) with symmetric H should drop, got %q", got.Key())
+	}
+}
+
+func TestPushDownThroughAddAndScalar(t *testing.T) {
+	// t(A + B) → t(A) + t(B); t(sum(X)) → sum(X).
+	tree := NewUn(Trans, NewBin(Add, NewLeaf("A", true), NewLeaf("B", true)))
+	got := PushDownTranspose(tree, nil)
+	if got.Key() != "+(t(A),t(B))" {
+		t.Fatalf("got %q", got.Key())
+	}
+	s := NewUn(Trans, NewUn(SumAll, NewLeaf("X", true)))
+	if got := PushDownTranspose(s, nil); got.Key() != "sum(X)" {
+		t.Fatalf("scalar transpose should drop, got %q", got.Key())
+	}
+}
+
+func TestExpandDistributes(t *testing.T) {
+	// A %*% (B + C) → A%*%B + A%*%C
+	tree := NewBin(MMul, NewLeaf("A", true), NewBin(Add, NewLeaf("B", true), NewLeaf("C", true)))
+	got := Expand(tree)
+	if got.Key() != "+(%*%(A,B),%*%(A,C))" {
+		t.Fatalf("got %q", got.Key())
+	}
+}
+
+func TestExpandFloatsNegation(t *testing.T) {
+	tree := NewBin(MMul, NewUn(Neg, NewLeaf("A", true)), NewUn(Neg, NewLeaf("B", true)))
+	if got := Expand(tree); got.Key() != "%*%(A,B)" {
+		t.Fatalf("(-A)(-B) should expand to AB, got %q", got.Key())
+	}
+	one := NewBin(MMul, NewUn(Neg, NewLeaf("A", true)), NewLeaf("B", true))
+	if got := Expand(one); got.Key() != "neg(%*%(A,B))" {
+		t.Fatalf("(-A)B should expand to -(AB), got %q", got.Key())
+	}
+}
+
+func TestExpandNested(t *testing.T) {
+	// (A+B) %*% (C+D) → AC + AD + BC + BD (grouped)
+	tree := NewBin(MMul,
+		NewBin(Add, NewLeaf("A", true), NewLeaf("B", true)),
+		NewBin(Add, NewLeaf("C", true), NewLeaf("D", true)))
+	got := Expand(tree)
+	leaves := 0
+	muls := 0
+	got.Walk(func(n *Node) {
+		if n.Kind == Leaf {
+			leaves++
+		}
+		if n.Kind == MMul {
+			muls++
+		}
+	})
+	if leaves != 8 || muls != 4 {
+		t.Fatalf("expected 4 products over 8 leaves, got %d muls %d leaves", muls, leaves)
+	}
+}
+
+func randomEnv(rng *rand.Rand) map[string]*matrix.Matrix {
+	n := 6
+	return map[string]*matrix.Matrix{
+		"A": matrix.RandDense(rng, n, n),
+		"B": matrix.RandDense(rng, n, n),
+		"C": matrix.RandDense(rng, n, n),
+		"H": matrix.RandSymmetric(rng, n),
+		"d": matrix.RandVector(rng, n),
+	}
+}
+
+// randomTree builds a random matrix expression over square matrices.
+func randomTree(rng *rand.Rand, depth int) *Node {
+	if depth == 0 || rng.Float64() < 0.3 {
+		syms := []string{"A", "B", "C", "H", "d"}
+		s := syms[rng.Intn(4)] // keep it square: skip d except explicitly
+		return NewLeaf(s, true)
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return NewUn(Trans, randomTree(rng, depth-1))
+	case 1:
+		return NewUn(Neg, randomTree(rng, depth-1))
+	case 2:
+		return NewBin(Add, randomTree(rng, depth-1), randomTree(rng, depth-1))
+	case 3:
+		return NewBin(Sub, randomTree(rng, depth-1), randomTree(rng, depth-1))
+	default:
+		return NewBin(MMul, randomTree(rng, depth-1), randomTree(rng, depth-1))
+	}
+}
+
+func TestPropNormalizePreservesValues(t *testing.T) {
+	// The central soundness property of §3: all transformations follow
+	// algebraic equivalence, so normalized plans compute identical results.
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		env := randomEnv(rng)
+		tree := randomTree(rng, 4)
+		want, err := Eval(tree, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Eval(Normalize(tree, SymTable{"H": true}), env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.ApproxEqual(got, 1e-8) {
+			t.Fatalf("seed %d: normalize changed values\ntree: %s", seed, tree.Key())
+		}
+	}
+}
+
+func TestEvalDFPPlansMatchSequentialExecution(t *testing.T) {
+	// Evaluating the inlined H-update tree must equal evaluating g, d, H
+	// sequentially.
+	p := buildDFP(t)
+	rng := rand.New(rand.NewSource(7))
+	env := map[string]*matrix.Matrix{
+		"A": matrix.RandDense(rng, 8, 4),
+		"b": matrix.RandVector(rng, 8),
+		"H": matrix.Identity(4),
+		"x": matrix.RandVector(rng, 4),
+		"i": matrix.Scalar(0),
+	}
+	// Sequential: g, d, then H.
+	seq := map[string]*matrix.Matrix{}
+	for k, v := range env {
+		seq[k] = v
+	}
+	for _, name := range []string{"g", "d", "H"} {
+		for _, sp := range p.Body {
+			if sp.Target == name {
+				v, err := Eval(sp.Tree, seq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				seq[name] = v
+			}
+		}
+	}
+	// Inlined: the H statement's tree (with d = Hg substituted) evaluated
+	// against the env plus g — d must not be needed.
+	var hTree *Node
+	for _, sp := range p.Body {
+		if sp.Target == "H" {
+			hTree = sp.Tree
+		}
+	}
+	env2 := map[string]*matrix.Matrix{}
+	for k, v := range env {
+		env2[k] = v
+	}
+	env2["g"] = seq["g"]
+	got, err := Eval(hTree, env2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ApproxEqual(seq["H"], 1e-9) {
+		t.Fatal("inlined H tree disagrees with sequential execution")
+	}
+}
+
+func TestExplicitCSEKeys(t *testing.T) {
+	// d %*% t(d) appearing twice is explicit; t(A)%*%A vs A%*%... is not.
+	ddT := NewBin(MMul, NewLeaf("d", false), NewUn(Trans, NewLeaf("d", false)))
+	root := NewBin(Add, ddT, ddT.Clone())
+	keys := ExplicitCSEKeys([]*Node{root})
+	if len(keys) != 1 {
+		t.Fatalf("keys = %v, want exactly the ddT key", keys)
+	}
+	for k, c := range keys {
+		if c != 2 {
+			t.Errorf("key %q count %d, want 2", k, c)
+		}
+	}
+}
+
+func TestSearchRoots(t *testing.T) {
+	p := buildDFP(t)
+	roots := p.SearchRoots()
+	// d is inlined; g, H, x, i remain.
+	if len(roots) != 4 {
+		t.Fatalf("roots = %d, want 4", len(roots))
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	if _, err := Eval(NewLeaf("missing", false), nil); err == nil {
+		t.Error("unbound symbol accepted")
+	}
+	rng := rand.New(rand.NewSource(1))
+	env := map[string]*matrix.Matrix{"A": matrix.RandDense(rng, 3, 3)}
+	if _, err := Eval(NewUn(AsScalar, NewLeaf("A", false)), env); err == nil {
+		t.Error("as.scalar of matrix accepted")
+	}
+	if _, err := Eval(NewUn(Sqrt, NewLeaf("A", false)), env); err == nil {
+		t.Error("sqrt of matrix accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if MMul.String() != "%*%" || Trans.String() != "t" {
+		t.Error("kind names wrong")
+	}
+}
+
+func TestNodeCountAndClone(t *testing.T) {
+	tree := NewBin(MMul, NewLeaf("A", true), NewUn(Trans, NewLeaf("B", true)))
+	if tree.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", tree.Count())
+	}
+	c := tree.Clone()
+	if c.Key() != tree.Key() {
+		t.Fatal("clone key differs")
+	}
+	c.Kids[0].Sym = "Z"
+	if tree.Kids[0].Sym != "A" {
+		t.Fatal("clone aliases original")
+	}
+}

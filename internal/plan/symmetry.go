@@ -1,0 +1,187 @@
+package plan
+
+// This file infers symmetry facts for derived variables. The canonical-key
+// normalization of the block-wise search exploits symmetry (AH and HAᵀ
+// collide only when H is known symmetric), and requiring users to annotate
+// every derived symbol would be brittle: DFP's H stays symmetric because
+// its update adds symmetric rank terms, and that is provable from the
+// script. Rules:
+//
+//   - a leaf is symmetric if declared (pragma) or already inferred;
+//   - X + Y, X - Y are symmetric when both sides are;
+//   - s·X, X/s, -X preserve symmetry for scalar s;
+//   - t(X) is symmetric iff X is;
+//   - a multiplication chain is symmetric when its atom sequence is a
+//     transpose-palindrome: reversing the chain and transposing every atom
+//     reproduces the chain (covers AᵀA, ddᵀ, HMH with M, H symmetric, …);
+//   - scalar-valued expressions are trivially symmetric (1×1).
+//
+// Inference runs to a fixpoint over the statements: a variable is symmetric
+// only if every assignment to it is provably symmetric.
+
+// InferSymmetry extends the declared symmetry set with derived variables.
+// The returned table contains the declared facts plus every variable whose
+// assignments are all provably symmetric. Scalar variables are not
+// recorded (symmetry is meaningless for them but harmless).
+func InferSymmetry(p *Plans, declared SymTable) SymTable {
+	facts := SymTable{}
+	for s := range declared {
+		facts[s] = true
+	}
+	stmts := append(append([]StmtPlan{}, p.Pre...), p.Body...)
+	stmts = append(stmts, p.Post...)
+
+	for pass := 0; pass < 4; pass++ {
+		changed := false
+		// candidate facts this pass: a variable assigned anywhere must be
+		// symmetric under every assignment.
+		verdict := map[string]bool{}
+		for _, sp := range stmts {
+			sym := symmetricTree(sp.Tree, facts)
+			if prev, seen := verdict[sp.Target]; seen {
+				verdict[sp.Target] = prev && sym
+			} else {
+				verdict[sp.Target] = sym
+			}
+		}
+		for name, ok := range verdict {
+			if ok && !facts[name] {
+				facts[name] = true
+				changed = true
+			}
+			if !ok && facts[name] && !declared[name] {
+				// An assignment breaks the fact we inferred earlier:
+				// withdraw it (declared facts are trusted as invariants).
+				delete(facts, name)
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return facts
+}
+
+// symmetricTree reports whether a tree provably yields a symmetric matrix
+// under the given facts.
+func symmetricTree(n *Node, facts SymTable) bool {
+	switch n.Kind {
+	case Leaf:
+		return facts.IsSymmetric(n.Sym)
+	case Const, SumAll, AsScalar, Sqrt, Abs, NRows, NCols:
+		return true // scalar-valued
+	case Add, Sub:
+		return symmetricTree(n.L(), facts) && symmetricTree(n.R(), facts)
+	case Neg:
+		return symmetricTree(n.L(), facts)
+	case Trans:
+		return symmetricTree(n.L(), facts)
+	case EMul, EDiv:
+		// Scalar scaling preserves symmetry; a genuine element-wise
+		// combination of two symmetric matrices does too.
+		l, r := n.L(), n.R()
+		lScalar, rScalar := scalarish(l), scalarish(r)
+		switch {
+		case lScalar && rScalar:
+			return true
+		case lScalar:
+			return symmetricTree(r, facts)
+		case rScalar:
+			return symmetricTree(l, facts)
+		default:
+			return symmetricTree(l, facts) && symmetricTree(r, facts)
+		}
+	case MMul:
+		atoms, ok := flattenChain(n, facts)
+		if !ok {
+			return false
+		}
+		return palindrome(atoms)
+	}
+	return false
+}
+
+// scalarish conservatively detects scalar-valued subtrees without a
+// resolver: literals and the scalar-producing operators.
+func scalarish(n *Node) bool {
+	switch n.Kind {
+	case Const, SumAll, AsScalar, Sqrt, Abs, NRows, NCols:
+		return true
+	case EMul, EDiv:
+		return scalarish(n.L()) && scalarish(n.R())
+	case Neg:
+		return scalarish(n.L())
+	}
+	return false
+}
+
+// chainAtom is a leaf factor with its transpose flag.
+type chainAtom struct {
+	sym string
+	t   bool
+	s   bool // symmetric
+}
+
+// flattenChain decomposes a multiplication spine into leaf atoms; non-leaf
+// factors give up (conservative).
+func flattenChain(n *Node, facts SymTable) ([]chainAtom, bool) {
+	switch n.Kind {
+	case MMul:
+		l, okL := flattenChain(n.L(), facts)
+		if !okL {
+			return nil, false
+		}
+		r, okR := flattenChain(n.R(), facts)
+		if !okR {
+			return nil, false
+		}
+		return append(l, r...), true
+	case Leaf:
+		return []chainAtom{{sym: n.Sym, s: facts.IsSymmetric(n.Sym)}}, true
+	case Trans:
+		if n.L().Kind == Leaf {
+			leaf := n.L()
+			s := facts.IsSymmetric(leaf.Sym)
+			return []chainAtom{{sym: leaf.Sym, t: !s, s: s}}, true
+		}
+		return nil, false
+	case EMul, EDiv:
+		// Scalar factor inside a chain: ignore it for symmetry (scaling is
+		// symmetric-preserving) if one side is scalar.
+		if scalarish(n.L()) {
+			return flattenChain(n.R(), facts)
+		}
+		if scalarish(n.R()) {
+			return flattenChain(n.L(), facts)
+		}
+		return nil, false
+	case Neg:
+		return flattenChain(n.L(), facts)
+	}
+	return nil, false
+}
+
+// palindrome reports whether the chain equals its own transpose: reverse
+// the sequence, flip every atom's transpose (symmetric atoms are
+// self-transpose), and compare.
+func palindrome(atoms []chainAtom) bool {
+	n := len(atoms)
+	for i := 0; i < n; i++ {
+		a := atoms[i]
+		b := atoms[n-1-i]
+		if a.sym != b.sym {
+			return false
+		}
+		if !a.s && !b.s && a.t == b.t && i != n-1-i {
+			// Mirrored positions must carry opposite transposition unless
+			// the atom is symmetric.
+			return false
+		}
+		if i == n-1-i && !a.s {
+			// The middle atom must itself be symmetric.
+			return false
+		}
+	}
+	return n > 0
+}

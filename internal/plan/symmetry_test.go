@@ -1,0 +1,144 @@
+package plan
+
+import (
+	"testing"
+
+	"remac/internal/lang"
+)
+
+func inferFor(t *testing.T, src string) SymTable {
+	t.Helper()
+	prog := lang.MustParse(src)
+	p, err := Build(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return InferSymmetry(p, SymTable(prog.Symmetric))
+}
+
+func TestInferATASymmetric(t *testing.T) {
+	facts := inferFor(t, `
+A = read("A")
+G = t(A) %*% A
+S = A %*% t(A)
+N = A %*% A
+`)
+	if !facts["G"] || !facts["S"] {
+		t.Errorf("AᵀA and AAᵀ should be inferred symmetric: %v", facts)
+	}
+	if facts["N"] {
+		t.Error("A·A must not be inferred symmetric")
+	}
+}
+
+func TestInferOuterProduct(t *testing.T) {
+	facts := inferFor(t, `
+d = read("d")
+D = d %*% t(d)
+`)
+	if !facts["D"] {
+		t.Error("ddᵀ should be symmetric")
+	}
+}
+
+func TestInferSandwich(t *testing.T) {
+	// H M H with H, M symmetric is symmetric; with M unknown it is not.
+	facts := inferFor(t, `
+#@symmetric H M
+H = read("H")
+M = read("M")
+X = read("X")
+S1 = H %*% M %*% H
+S2 = H %*% X %*% H
+S3 = t(X) %*% M %*% X
+`)
+	if !facts["S1"] {
+		t.Error("HMH should be symmetric")
+	}
+	if facts["S2"] {
+		t.Error("HXH must not be symmetric for unknown X")
+	}
+	if !facts["S3"] {
+		t.Error("XᵀMX should be symmetric")
+	}
+}
+
+func TestInferCombinations(t *testing.T) {
+	facts := inferFor(t, `
+#@symmetric P Q
+P = read("P")
+Q = read("Q")
+A = read("A")
+S1 = P + Q
+S2 = P - 2 * Q
+S3 = P + A
+S4 = t(P)
+`)
+	for _, name := range []string{"S1", "S2", "S4"} {
+		if !facts[name] {
+			t.Errorf("%s should be symmetric", name)
+		}
+	}
+	if facts["S3"] {
+		t.Error("P + A must not be symmetric")
+	}
+}
+
+func TestInferDFPHStaysSymmetric(t *testing.T) {
+	// The paper's key invariant: the DFP update preserves H's symmetry, so
+	// HAᵀ and AH unify in the search. Inference must confirm the update's
+	// shape (given H0 declared symmetric, H's single assignment is a sum of
+	// symmetric terms).
+	facts := inferFor(t, `
+#@symmetric H
+A = read("A")
+b = read("b")
+H = read("H0")
+x = read("x0")
+i = 0
+while (i < 3) {
+    g = t(A) %*% (A %*% x - b)
+    d = H %*% g
+    H = H - (H %*% t(A) %*% A %*% d %*% t(d) %*% t(A) %*% A %*% H) / as.scalar(t(d) %*% t(A) %*% A %*% H %*% t(A) %*% A %*% d) + (d %*% t(d)) / as.scalar(2 * (t(d) %*% t(A) %*% A %*% d))
+    x = x - 0.1 * d
+    i = i + 1
+}
+`)
+	if !facts["H"] {
+		t.Fatalf("H should be verified symmetric through the DFP update; facts: %v", facts)
+	}
+	if facts["g"] || facts["x"] {
+		t.Error("vectors must not be marked symmetric")
+	}
+}
+
+func TestInferWithdrawsBrokenFacts(t *testing.T) {
+	// Z starts symmetric-looking (first assignment) but a later assignment
+	// breaks it: Z must not be in the final facts.
+	facts := inferFor(t, `
+A = read("A")
+Z = t(A) %*% A
+Z = A %*% Z
+`)
+	if facts["Z"] {
+		t.Error("Z's second assignment breaks symmetry; fact must be withdrawn")
+	}
+}
+
+func TestPalindromeEdgeCases(t *testing.T) {
+	if !palindrome([]chainAtom{{sym: "A", t: true}, {sym: "A"}}) {
+		t.Error("AᵀA palindrome")
+	}
+	if palindrome([]chainAtom{{sym: "A"}, {sym: "A"}}) {
+		t.Error("AA is not a palindrome")
+	}
+	if !palindrome([]chainAtom{{sym: "H", s: true}}) {
+		t.Error("single symmetric atom")
+	}
+	if palindrome([]chainAtom{{sym: "A"}}) {
+		t.Error("single non-symmetric atom")
+	}
+	if !palindrome([]chainAtom{{sym: "A", t: true}, {sym: "M", s: true}, {sym: "A"}}) {
+		t.Error("AᵀMA with symmetric middle")
+	}
+}

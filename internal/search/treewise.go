@@ -1,0 +1,263 @@
+package search
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"remac/internal/chain"
+)
+
+// This file implements the tree-wise search baseline of §3.1/§6.2.1: it
+// traverses all possible plan trees of the whole expression — the cross
+// product over blocks of every parenthesization of every chain — and
+// detects common (and loop-constant) operators within each full plan. The
+// search space is a product of Catalan numbers, so the traversal takes a
+// deadline and reports whether it was cut off; on DFP/BFGS-sized programs
+// it cannot finish (the paper measured > 8 hours), which is precisely the
+// motivation for the block-wise search.
+
+// treeNode is one parenthesization subtree over a chain interval.
+type treeNode struct {
+	lo, hi int // atom interval (inclusive)
+	l, r   *treeNode
+}
+
+// treeCap bounds the number of materialized parenthesizations per block;
+// blocks whose Catalan count exceeds it are enumerated partially and the
+// overall search is reported as timed out (it cannot be complete).
+const treeCap = 50000
+
+// enumTrees returns the full binary trees over [lo, hi], up to treeCap per
+// interval. Memoized per block; within the cap the count is exactly the
+// Catalan number of the interval length.
+func enumTrees(memo map[[2]int][]*treeNode, lo, hi int, truncated *bool) []*treeNode {
+	if lo == hi {
+		return []*treeNode{{lo: lo, hi: hi}}
+	}
+	key := [2]int{lo, hi}
+	if ts, ok := memo[key]; ok {
+		return ts
+	}
+	var out []*treeNode
+	for k := lo; k < hi && len(out) < treeCap; k++ {
+		lefts := enumTrees(memo, lo, k, truncated)
+		rights := enumTrees(memo, k+1, hi, truncated)
+		for _, l := range lefts {
+			for _, r := range rights {
+				out = append(out, &treeNode{lo: lo, hi: hi, l: l, r: r})
+				if len(out) >= treeCap {
+					*truncated = true
+					break
+				}
+			}
+			if len(out) >= treeCap {
+				break
+			}
+		}
+	}
+	memo[key] = out
+	return out
+}
+
+// TreeWise runs the exhaustive baseline with the given deadline. It finds
+// the same options as BlockWise when it completes; when the deadline cuts
+// it off, TimedOut is set and the options found so far are returned.
+func TreeWise(c *chain.Coordinates, deadline time.Duration) *Result {
+	start := time.Now()
+	res := &Result{Coords: c, TimedOut: false}
+
+	if len(c.Blocks) == 0 {
+		res.Elapsed = time.Since(start)
+		return res
+	}
+
+	// Enumerate parenthesizations per block.
+	truncated := false
+	perBlock := make([][]*treeNode, len(c.Blocks))
+	for i, b := range c.Blocks {
+		memo := map[[2]int][]*treeNode{}
+		perBlock[i] = enumTrees(memo, 0, b.Len()-1, &truncated)
+	}
+
+	// Walk the cross product of block plans. Each full plan is scanned for
+	// duplicate subtree keys (CSE) and loop-constant subtrees (LSE). This
+	// is exactly the duplicated work §3.1 describes: the same sub-plan is
+	// revisited once per combination of the other blocks' plans.
+	cse := map[string][]twSpan{}
+	lse := map[string][]twSpan{}
+
+	var mu sync.Mutex
+	cutoff := start.Add(deadline)
+	stopped := func() bool { return time.Now().After(cutoff) }
+
+	// choice holds the currently selected tree index per block; odometer
+	// enumeration of the cross product, parallelized over the first
+	// block's choices.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(perBlock[0]) && len(perBlock) > 0 {
+		workers = max(1, len(perBlock[0]))
+	}
+	var wg sync.WaitGroup
+	firstChoices := make(chan int)
+	visited := make([]int, workers)
+
+	scanPlan := func(choice []int, local, localLSE map[string][]twSpan) {
+		// Collect every subtree key of every block's chosen tree.
+		for bi, b := range c.Blocks {
+			t := perBlock[bi][choice[bi]]
+			var walk func(n *treeNode)
+			walk = func(n *treeNode) {
+				if n == nil {
+					return
+				}
+				if n.lo < n.hi {
+					window := b.Atoms[n.lo : n.hi+1]
+					key := chain.CanonicalKey(window)
+					s := twSpan{block: b.ID, lo: n.lo, hi: n.hi, flipped: chain.Transposed(window)}
+					loopConst := true
+					for _, a := range window {
+						if !a.LoopConst {
+							loopConst = false
+							break
+						}
+					}
+					if loopConst {
+						localLSE[key] = append(localLSE[key], s)
+					} else {
+						local[key] = append(local[key], s)
+					}
+				}
+				walk(n.l)
+				walk(n.r)
+			}
+			walk(t)
+		}
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			localCSE := map[string][]twSpan{}
+			localLSE := map[string][]twSpan{}
+			for first := range firstChoices {
+				// Keep draining the channel after the deadline so the
+				// feeder never blocks on an unbuffered send.
+				if stopped() {
+					continue
+				}
+				// Odometer over the remaining blocks.
+				choice := make([]int, len(perBlock))
+				choice[0] = first
+				for {
+					if stopped() {
+						break
+					}
+					visited[w]++
+					scanPlan(choice, localCSE, localLSE)
+					// Increment odometer from block 1 upward.
+					i := 1
+					for ; i < len(choice); i++ {
+						choice[i]++
+						if choice[i] < len(perBlock[i]) {
+							break
+						}
+						choice[i] = 0
+					}
+					if i >= len(choice) {
+						break
+					}
+				}
+			}
+			mu.Lock()
+			for k, spans := range localCSE {
+				cse[k] = append(cse[k], spans...)
+			}
+			for k, spans := range localLSE {
+				lse[k] = append(lse[k], spans...)
+			}
+			mu.Unlock()
+		}(w)
+	}
+
+	for i := range perBlock[0] {
+		if stopped() {
+			res.TimedOut = true
+			break
+		}
+		firstChoices <- i
+	}
+	close(firstChoices)
+	wg.Wait()
+	if stopped() || truncated {
+		res.TimedOut = true
+	}
+
+	// Convert tables into options in deterministic key order,
+	// deduplicating occurrences (the same span is observed in many plans).
+	keys := make([]string, 0, len(cse)+len(lse))
+	for k := range lse {
+		keys = append(keys, k)
+	}
+	for k := range cse {
+		if _, isLSE := lse[k]; !isLSE {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if spans, ok := lse[key]; ok {
+			occs := dedupSpans(spans)
+			res.Options = append(res.Options, &Option{
+				ID: len(res.Options), Kind: LSE, Key: key, Occs: occs,
+				Atoms: atomsForSpan(c, occs[0]),
+			})
+			continue
+		}
+		occs := dedupSpans(cse[key])
+		if len(occs) >= 2 {
+			res.Options = append(res.Options, &Option{
+				ID: len(res.Options), Kind: CSE, Key: key, Occs: occs,
+				Atoms: atomsForSpan(c, occs[0]),
+			})
+		}
+	}
+	for _, v := range visited {
+		res.Visited += v
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// twSpan is one subtree interval observed during the tree-wise traversal.
+type twSpan struct {
+	block, lo, hi int
+	flipped       bool
+}
+
+func dedupSpans(spans []twSpan) []Occurrence {
+	seen := map[[3]int]bool{}
+	hits := make([]hit, 0, len(spans))
+	for _, s := range spans {
+		k := [3]int{s.block, s.lo, s.hi}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		hits = append(hits, hit{occ: Occurrence{Block: s.block, Lo: s.lo, Hi: s.hi, Flipped: s.flipped}})
+	}
+	return disjointOccurrences(hits)
+}
+
+func atomsForSpan(c *chain.Coordinates, o Occurrence) []chain.Atom {
+	return c.Blocks[o.Block].Atoms[o.Lo : o.Hi+1]
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,89 @@
+// Package remac is a from-scratch Go reproduction of "Redundancy
+// Elimination in Distributed Matrix Computation" (SIGMOD 2022): the ReMac
+// optimizer — block-wise search for common and loop-constant subexpressions
+// plus cost-based adaptive elimination — together with the SystemDS-like
+// distributed matrix runtime it runs on, executed against a simulated
+// cluster.
+//
+// The typical flow is Compile → Run:
+//
+//	prog, err := remac.Compile(script, inputs, remac.Config{Strategy: remac.Adaptive})
+//	report, err := prog.Run()
+//
+// Scripts are written in a DML-like language (see the examples directory);
+// inputs pair materialized matrices with the virtual dimensions all cost
+// accounting uses.
+package remac
+
+import (
+	"math/rand"
+
+	"remac/internal/matrix"
+)
+
+// Matrix is a dense or sparse (CSR) float64 matrix — the value type of the
+// runtime.
+type Matrix struct {
+	m *matrix.Matrix
+}
+
+func wrap(m *matrix.Matrix) *Matrix { return &Matrix{m: m} }
+
+// NewDense builds a rows×cols matrix from row-major data (len rows*cols).
+func NewDense(rows, cols int, data []float64) *Matrix {
+	return wrap(matrix.NewDenseData(rows, cols, data))
+}
+
+// Zeros returns a rows×cols zero matrix.
+func Zeros(rows, cols int) *Matrix { return wrap(matrix.NewDense(rows, cols)) }
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix { return wrap(matrix.Identity(n)) }
+
+// NewCSR builds a sparse matrix from compressed-sparse-row arrays.
+func NewCSR(rows, cols int, rowPtr, colIdx []int, vals []float64) *Matrix {
+	return wrap(matrix.NewCSR(rows, cols, rowPtr, colIdx, vals))
+}
+
+// RandDense returns a seeded random dense matrix with entries in [-1, 1).
+func RandDense(seed int64, rows, cols int) *Matrix {
+	return wrap(matrix.RandDense(rand.New(rand.NewSource(seed)), rows, cols))
+}
+
+// RandSparse returns a seeded random CSR matrix with the given sparsity.
+func RandSparse(seed int64, rows, cols int, sparsity float64) *Matrix {
+	return wrap(matrix.RandSparse(rand.New(rand.NewSource(seed)), rows, cols, sparsity))
+}
+
+// ZipfSparse returns a seeded sparse matrix whose nonzeros are skewed with
+// a Zipf distribution of the given exponent (0 = uniform).
+func ZipfSparse(seed int64, rows, cols int, sparsity, exponent float64) *Matrix {
+	return wrap(matrix.ZipfSparse(rand.New(rand.NewSource(seed)), rows, cols, sparsity, exponent))
+}
+
+// Rows returns the row count.
+func (m *Matrix) Rows() int { return m.m.Rows() }
+
+// Cols returns the column count.
+func (m *Matrix) Cols() int { return m.m.Cols() }
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.m.At(i, j) }
+
+// NNZ returns the number of nonzero elements.
+func (m *Matrix) NNZ() int { return m.m.NNZ() }
+
+// Sparsity returns NNZ/(rows·cols).
+func (m *Matrix) Sparsity() float64 { return m.m.Sparsity() }
+
+// IsScalar reports whether the matrix is 1×1.
+func (m *Matrix) IsScalar() bool { return m.m.IsScalar() }
+
+// ScalarValue returns the single element of a 1×1 matrix.
+func (m *Matrix) ScalarValue() float64 { return m.m.ScalarValue() }
+
+// ApproxEqual reports element-wise equality within tol.
+func (m *Matrix) ApproxEqual(o *Matrix, tol float64) bool { return m.m.ApproxEqual(o.m, tol) }
+
+// String renders small matrices fully, large ones as a summary.
+func (m *Matrix) String() string { return m.m.String() }

@@ -1,0 +1,352 @@
+package remac
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"remac/internal/cluster"
+	"remac/internal/costgraph"
+	"remac/internal/engine"
+	"remac/internal/lang"
+	"remac/internal/opt"
+	"remac/internal/sparsity"
+)
+
+// Strategy selects how elimination options are applied.
+type Strategy string
+
+// The six planner configurations of the paper's evaluation.
+const (
+	// NoElimination disables CSE/LSE entirely (the paper's SystemDS*).
+	NoElimination Strategy = "none"
+	// Explicit applies identical-subtree CSE only (stock SystemDS).
+	Explicit Strategy = "explicit"
+	// Conservative applies options that follow the original execution order.
+	Conservative Strategy = "conservative"
+	// Aggressive applies every applicable option, order-changing first.
+	Aggressive Strategy = "aggressive"
+	// Automatic applies as many block-wise options as possible.
+	Automatic Strategy = "automatic"
+	// Adaptive is ReMac's cost-based combination (the default).
+	Adaptive Strategy = "adaptive"
+)
+
+// Estimator selects the sparsity estimator of the cost model (§4.2).
+type Estimator string
+
+// Available estimators.
+const (
+	// MD is the metadata-based estimator (fast, assumes uniform nonzeros).
+	MD Estimator = "MD"
+	// MNC is the structure-exploiting count-sketch estimator (ReMac's
+	// reported configuration).
+	MNC Estimator = "MNC"
+	// Sample estimates from subsampled count sketches.
+	Sample Estimator = "Sample"
+)
+
+// Combiner selects how adaptive elimination combines options (Fig 10).
+type Combiner string
+
+// Available combiners.
+const (
+	// DP is the dynamic-programming probing of §4.3 (the default).
+	DP Combiner = "DP"
+	// EnumDFS is brute-force depth-first enumeration.
+	EnumDFS Combiner = "Enum-DFS"
+	// EnumBFS is brute-force breadth-first enumeration.
+	EnumBFS Combiner = "Enum-BFS"
+)
+
+// ClusterConfig describes the simulated cluster. The zero value means
+// DefaultCluster().
+type ClusterConfig struct {
+	// Nodes in the cluster (one hosts the driver). Default 7, the paper's
+	// testbed.
+	Nodes int
+	// CoresPerNode per worker. Default 12.
+	CoresPerNode int
+	// NetBandwidthMBps is the per-link bandwidth in MB/s. Default 125
+	// (1 Gbps).
+	NetBandwidthMBps float64
+	// DriverMemoryGB bounds local-mode values. Default 20.
+	DriverMemoryGB float64
+	// BlockSize is the square matrix block edge. Default 1000.
+	BlockSize int
+}
+
+// DefaultCluster returns the paper's seven-node testbed.
+func DefaultCluster() ClusterConfig {
+	return ClusterConfig{Nodes: 7, CoresPerNode: 12, NetBandwidthMBps: 125, DriverMemoryGB: 20, BlockSize: 1000}
+}
+
+// SingleNodeCluster returns the single-node comparison setup of Fig 3(b).
+func SingleNodeCluster() ClusterConfig {
+	c := DefaultCluster()
+	c.Nodes = 1
+	c.DriverMemoryGB = 256
+	return c
+}
+
+func (c ClusterConfig) internal() cluster.Config {
+	base := cluster.DefaultConfig()
+	if c.Nodes > 0 {
+		base.Nodes = c.Nodes
+	}
+	if c.CoresPerNode > 0 {
+		base.CoresPerNode = c.CoresPerNode
+	}
+	if c.NetBandwidthMBps > 0 {
+		base.NetBandwidth = c.NetBandwidthMBps * 1e6
+	}
+	if c.DriverMemoryGB > 0 {
+		base.DriverMemory = int64(c.DriverMemoryGB * float64(1<<30))
+	}
+	if c.BlockSize > 0 {
+		base.BlockSize = c.BlockSize
+	}
+	if c.Nodes == 1 {
+		base.DriverMemory = 256 << 30
+	}
+	return base
+}
+
+// Config parameterizes compilation.
+type Config struct {
+	// Strategy defaults to Adaptive.
+	Strategy Strategy
+	// Estimator defaults to MNC (ReMac's reported choice, §6.3.2).
+	Estimator Estimator
+	// Combiner defaults to DP.
+	Combiner Combiner
+	// Cluster defaults to the paper's 7-node testbed.
+	Cluster ClusterConfig
+	// Iterations is the expected loop trip count for LSE amortization; it
+	// defaults to 15 (quasi-Newton scale). Set it to the script's actual
+	// trip count.
+	Iterations int
+	// EnumMaxCombos bounds the Enum combiners (0 = 100k).
+	EnumMaxCombos int
+}
+
+// Input pairs a materialized matrix with the virtual (full-scale)
+// dimensions used for cost accounting. Zero virtual dims use the actual
+// ones.
+type Input struct {
+	Data        *Matrix
+	VirtualRows int64
+	VirtualCols int64
+}
+
+// Program is a compiled script, ready to run or inspect.
+type Program struct {
+	compiled *opt.Compiled
+	inputs   map[string]Input
+}
+
+// Compile parses, optimizes and plans a script against the given inputs.
+func Compile(script string, inputs map[string]Input, cfg Config) (*Program, error) {
+	prog, err := lang.Parse(script)
+	if err != nil {
+		return nil, err
+	}
+	metas := map[string]sparsity.Meta{}
+	for name, in := range inputs {
+		if in.Data == nil {
+			return nil, fmt.Errorf("remac: input %q has nil data", name)
+		}
+		metas[name] = sparsity.Virtualize(sparsity.MetaOf(in.Data.m), in.VirtualRows, in.VirtualCols)
+	}
+	icfg := opt.Config{
+		Strategy:   strategyInternal(cfg.Strategy),
+		Estimator:  estimatorInternal(cfg.Estimator),
+		Combiner:   combinerInternal(cfg.Combiner),
+		Cluster:    cfg.Cluster.internal(),
+		Iterations: cfg.Iterations,
+	}
+	if icfg.Iterations == 0 {
+		icfg.Iterations = 15
+	}
+	max := cfg.EnumMaxCombos
+	if max == 0 {
+		max = 100_000
+	}
+	icfg.EnumBudget = costgraph.EnumBudget{MaxCombos: max}
+	compiled, err := opt.Compile(prog, metas, icfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{compiled: compiled, inputs: inputs}, nil
+}
+
+func strategyInternal(s Strategy) opt.Strategy {
+	switch s {
+	case NoElimination:
+		return opt.NoElimination
+	case Explicit:
+		return opt.Explicit
+	case Conservative:
+		return opt.Conservative
+	case Aggressive:
+		return opt.Aggressive
+	case Automatic:
+		return opt.Automatic
+	default:
+		return opt.Adaptive
+	}
+}
+
+func estimatorInternal(e Estimator) sparsity.Estimator {
+	switch e {
+	case MD:
+		return sparsity.Metadata{}
+	case Sample:
+		return sparsity.Sampling{Fraction: 0.1}
+	default:
+		return sparsity.MNC{}
+	}
+}
+
+func combinerInternal(c Combiner) opt.Combiner {
+	switch c {
+	case EnumDFS:
+		return opt.EnumDFS
+	case EnumBFS:
+		return opt.EnumBFS
+	default:
+		return opt.DP
+	}
+}
+
+// OptionInfo describes one discovered elimination option.
+type OptionInfo struct {
+	// Kind is "CSE", "LSE" or "CSE-group".
+	Kind string
+	// Key is the canonical subexpression (e.g. "A'·A").
+	Key string
+	// Occurrences counts where the subexpression appears.
+	Occurrences int
+	// Selected reports whether the planner applied it.
+	Selected bool
+}
+
+// Options lists the CSE/LSE options automatic elimination found (empty for
+// the NoElimination/Explicit strategies, which do not search).
+func (p *Program) Options() []OptionInfo {
+	if p.compiled.Search == nil {
+		return nil
+	}
+	out := make([]OptionInfo, 0, len(p.compiled.Search.Options))
+	for _, o := range p.compiled.Search.Options {
+		out = append(out, OptionInfo{
+			Kind:        o.Kind.String(),
+			Key:         o.Key,
+			Occurrences: len(o.Occs),
+			Selected:    p.compiled.SelectedKeys[o.Key],
+		})
+	}
+	return out
+}
+
+// SelectedKeys returns the applied option keys, sorted.
+func (p *Program) SelectedKeys() []string {
+	keys := make([]string, 0, len(p.compiled.SelectedKeys))
+	for k := range p.compiled.SelectedKeys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Explain renders the coordinate system, the discovered options and the
+// selection — the remac-explain tool's output.
+func (p *Program) Explain() string {
+	var b strings.Builder
+	c := p.compiled
+	fmt.Fprintf(&b, "strategy: %v, estimator: %s, iterations: %d\n",
+		c.Config.Strategy, c.Config.Estimator.Name(), c.Config.Iterations)
+	if c.Coords != nil {
+		b.WriteString("\ncoordinates:\n")
+		b.WriteString(c.Coords.String())
+	}
+	if c.Search != nil {
+		fmt.Fprintf(&b, "\noptions found: %d (search %v)\n", len(c.Search.Options), c.SearchTime)
+		for _, o := range c.Search.Options {
+			mark := " "
+			if c.SelectedKeys[o.Key] {
+				mark = "*"
+			}
+			fmt.Fprintf(&b, " %s %s\n", mark, o.String())
+		}
+	}
+	if c.Decision != nil {
+		fmt.Fprintf(&b, "\nselected %d options, modelled cost %.3f s/iteration (plan %v)\n",
+			len(c.Decision.Selected), c.Decision.TotalCost, c.PlanTime)
+	}
+	return b.String()
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	// Values holds the final variable bindings.
+	Values map[string]*Matrix
+	// Iterations executed.
+	Iterations int
+	// SimulatedSeconds is the modelled wall-clock execution time on the
+	// simulated cluster.
+	SimulatedSeconds float64
+	// ComputeSeconds and TransmitSeconds split SimulatedSeconds.
+	ComputeSeconds, TransmitSeconds float64
+	// InputPartitionSeconds is the input read/partition phase.
+	InputPartitionSeconds float64
+	// CompileSeconds is the real compilation time.
+	CompileSeconds float64
+	// BytesByPrimitive reports data volumes per transmission primitive
+	// (collect, broadcast, shuffle, dfs).
+	BytesByPrimitive map[string]float64
+	// WorkerShares is each worker's fraction of the partitioned input data
+	// (the Fig 13 measurement).
+	WorkerShares []float64
+}
+
+// Run executes the compiled program on a fresh simulated cluster.
+func (p *Program) Run() (*Report, error) {
+	ins := map[string]engine.Input{}
+	for name, in := range p.inputs {
+		ins[name] = engine.Input{Data: in.Data.m, VRows: in.VirtualRows, VCols: in.VirtualCols}
+	}
+	res, err := engine.Run(p.compiled, ins)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Values:                map[string]*Matrix{},
+		Iterations:            res.Iterations,
+		SimulatedSeconds:      res.Stats.TotalTime(),
+		ComputeSeconds:        res.Stats.ComputeTime,
+		TransmitSeconds:       res.Stats.TransmitTime,
+		InputPartitionSeconds: res.InputPartitionSec,
+		CompileSeconds:        res.CompileSec,
+		BytesByPrimitive:      map[string]float64{},
+	}
+	for name, v := range res.Env {
+		rep.Values[name] = wrap(v.Data())
+	}
+	for _, prim := range cluster.Primitives {
+		rep.BytesByPrimitive[prim.String()] = res.Stats.BytesFor(prim)
+	}
+	total := 0.0
+	for _, b := range res.Stats.WorkerBytes {
+		total += b
+	}
+	if total > 0 {
+		for _, b := range res.Stats.WorkerBytes {
+			rep.WorkerShares = append(rep.WorkerShares, b/total)
+		}
+	}
+	return rep, nil
+}
+
+// TotalSeconds returns simulated execution plus compilation time.
+func (r *Report) TotalSeconds() float64 { return r.SimulatedSeconds + r.CompileSeconds }
