@@ -6,7 +6,9 @@
 //	remac-bench                     # run every experiment
 //	remac-bench -experiment fig9    # run one (table2, fig3a, fig3b, fig8a,
 //	                                # fig8b, fig9, fig10a, fig10b, fig11,
-//	                                # fig12, fig13, options)
+//	                                # fig12, fig13, options, opstats)
+//	remac-bench -trace out.json     # also dump every run's operator spans
+//	                                # as JSON lines
 package main
 
 import (
@@ -20,7 +22,18 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "", "experiment ID to run (default: all)")
+	traceFile := flag.String("trace", "", "write every run's operator spans to this file as JSON lines")
 	flag.Parse()
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		bench.TraceTo(f)
+	}
 
 	ids := bench.IDs
 	if *experiment != "" {

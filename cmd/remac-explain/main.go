@@ -1,6 +1,7 @@
 // remac-explain dumps the optimizer's view of a workload: the coordinate
-// system (Figure 4), every CSE/LSE option the block-wise search found, and
-// the combination the chosen strategy applied.
+// system (Figure 4), every CSE/LSE option the block-wise search found, the
+// combination the chosen strategy applied, and — after executing the plan —
+// the per-statement simulated-cost table.
 //
 // Usage:
 //
@@ -37,6 +38,17 @@ func main() {
 	})
 	fatal(err)
 	fmt.Print(prog.Explain())
+
+	_, tr, err := prog.RunTraced()
+	fatal(err)
+	fmt.Printf("\nsimulated cost by statement (%d iterations):\n", iterations)
+	fmt.Printf("%-24s %6s %8s %12s %12s %12s\n",
+		"statement", "execs", "ops", "compute(s)", "transmit(s)", "total(s)")
+	for _, sc := range tr.StatementCosts() {
+		fmt.Printf("%-24s %6d %8d %12.3f %12.3f %12.3f\n",
+			sc.Statement, sc.Executions, sc.Ops, sc.ComputeSeconds, sc.TransmitSeconds,
+			sc.ComputeSeconds+sc.TransmitSeconds)
+	}
 }
 
 func fatal(err error) {

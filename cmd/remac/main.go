@@ -21,6 +21,7 @@ func main() {
 	estimator := flag.String("estimator", "MNC", "MD, MNC, Sample")
 	iterations := flag.Int("iterations", 0, "loop trip count (0 = workload default)")
 	singleNode := flag.Bool("single-node", false, "use the single-node cluster profile")
+	traceFile := flag.String("trace", "", "write the run's operator spans to this file as JSON lines")
 	flag.Parse()
 
 	if *iterations == 0 {
@@ -45,8 +46,19 @@ func main() {
 	})
 	fatal(err)
 
-	report, err := prog.Run()
-	fatal(err)
+	var report *remac.Report
+	if *traceFile != "" {
+		var tr *remac.RunTrace
+		report, tr, err = prog.RunTraced()
+		fatal(err)
+		f, err := os.Create(*traceFile)
+		fatal(err)
+		fatal(tr.WriteJSONL(f))
+		fatal(f.Close())
+	} else {
+		report, err = prog.Run()
+		fatal(err)
+	}
 
 	fmt.Printf("%s on %s, strategy %s, %d iterations\n", *workload, *dsName, *strategy, report.Iterations)
 	fmt.Printf("  compile             %10.3f s (real)\n", report.CompileSeconds)

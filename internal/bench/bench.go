@@ -7,6 +7,7 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"remac/internal/engine"
 	"remac/internal/opt"
 	"remac/internal/sparsity"
+	"remac/internal/trace"
 )
 
 // Table is one experiment's output: labeled rows of named measurements.
@@ -104,7 +106,25 @@ type runOut struct {
 var (
 	dsMu    sync.Mutex
 	dsCache = map[string]*data.Dataset{}
+
+	traceMu sync.Mutex
+	traceW  io.Writer
 )
+
+// TraceTo directs every subsequent run's operator spans to w as JSON lines
+// (remac-bench -trace). Pass nil to disable.
+func TraceTo(w io.Writer) {
+	traceMu.Lock()
+	traceW = w
+	traceMu.Unlock()
+}
+
+// traceSink returns the current trace writer, if any.
+func traceSink() io.Writer {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	return traceW
+}
 
 func dataset(name string) *data.Dataset {
 	dsMu.Lock()
@@ -141,8 +161,32 @@ func inputsFor(alg algorithms.Name, ds *data.Dataset) (map[string]engine.Input, 
 	return ins, metas
 }
 
-// runOne executes one measured configuration.
+// runOne executes one measured configuration. When a trace sink is set
+// (remac-bench -trace), the run's spans are appended to it as JSON lines.
 func runOne(cfg runCfg) (*runOut, error) {
+	var rec *trace.Recorder
+	sink := traceSink()
+	if sink != nil {
+		rec = trace.NewRun(fmt.Sprintf("%s/%s/%v", cfg.alg, cfg.dataset, cfg.strategy))
+	}
+	out, err := runOneTraced(cfg, rec)
+	if err != nil {
+		return nil, err
+	}
+	if sink != nil {
+		traceMu.Lock()
+		err = rec.WriteJSONL(sink)
+		traceMu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// runOneTraced executes one measured configuration with an optional span
+// recorder attached.
+func runOneTraced(cfg runCfg, rec *trace.Recorder) (*runOut, error) {
 	if cfg.iterations == 0 {
 		cfg.iterations = algorithms.DefaultIterations(cfg.alg)
 	}
@@ -166,7 +210,7 @@ func runOne(cfg runCfg) (*runOut, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%v/%s/%v: %w", cfg.alg, cfg.dataset, cfg.strategy, err)
 	}
-	res, err := engine.Run(compiled, ins)
+	res, err := engine.RunTraced(compiled, ins, rec)
 	if err != nil {
 		return nil, fmt.Errorf("%v/%s/%v: %w", cfg.alg, cfg.dataset, cfg.strategy, err)
 	}
@@ -207,10 +251,44 @@ var Experiments = map[string]func() (*Table, error){
 	"fig12":   Fig12,
 	"fig13":   Fig13,
 	"options": OptionCensus,
+	"opstats": OpStats,
 }
 
 // IDs lists experiment IDs in presentation order.
-var IDs = []string{"table2", "fig3a", "fig3b", "fig8a", "fig8b", "fig9", "fig10a", "fig10b", "fig11", "fig12", "fig13", "options"}
+var IDs = []string{"table2", "fig3a", "fig3b", "fig8a", "fig8b", "fig9", "fig10a", "fig10b", "fig11", "fig12", "fig13", "options", "opstats"}
+
+// OpStats records per-operator aggregates for a traced DFP run: how many
+// operators of each kind executed, and where the simulated time and bytes
+// went. It exercises the same recorder remac-bench -trace serializes.
+func OpStats() (*Table, error) {
+	t := &Table{ID: "OpStats", Title: "Per-operator aggregates, DFP on cri2 (ReMac plan)",
+		Columns: []string{"ops", "GFLOP", "compute(s)", "transmit(s)", "GB"}}
+	rec := trace.NewRun("dfp/cri2/adaptive")
+	if _, err := runOneTraced(runCfg{alg: algorithms.DFP, dataset: "cri2", strategy: opt.Adaptive}, rec); err != nil {
+		return nil, err
+	}
+	sum := rec.Summary()
+	for _, ks := range sum.ByKind {
+		bytes := 0.0
+		for _, b := range ks.Bytes {
+			bytes += b
+		}
+		t.Rows = append(t.Rows, Row{Label: ks.Kind, Values: map[string]float64{
+			"ops":         float64(ks.Ops),
+			"GFLOP":       ks.FLOP / 1e9,
+			"compute(s)":  ks.ComputeSec,
+			"transmit(s)": ks.TransmitSec,
+			"GB":          bytes / 1e9,
+		}})
+	}
+	t.Rows = append(t.Rows, Row{Label: "total", Values: map[string]float64{
+		"ops":         float64(sum.Ops),
+		"GFLOP":       sum.FLOP / 1e9,
+		"compute(s)":  sum.ComputeSec,
+		"transmit(s)": sum.TransmitSec,
+	}})
+	return t, nil
+}
 
 // Table2 reports the dataset statistics.
 func Table2() (*Table, error) {

@@ -160,6 +160,66 @@ func TestConcurrentCharging(t *testing.T) {
 	}
 }
 
+func TestConcurrentChargeProfile(t *testing.T) {
+	c := New(DefaultConfig())
+	bytes := []float64{1, 2, 3, 4}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				c.ChargeProfile(5, 0.25, 0.5, bytes)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Stats()
+	const n = 16 * 200
+	if s.Ops != n || s.FLOP != 5*n || s.ComputeTime != 0.25*n || s.TransmitTime != 0.5*n {
+		t.Fatalf("lost profile updates: %+v", s)
+	}
+	for i, p := range Primitives {
+		if got := s.BytesFor(p); got != bytes[i]*n {
+			t.Errorf("%v bytes = %g, want %g", p, got, bytes[i]*n)
+		}
+	}
+}
+
+// TestConcurrentStatsAndReset hammers readers, writers and Reset together;
+// the race detector validates the locking, and the final Reset must leave a
+// clean slate regardless of interleaving.
+func TestConcurrentStatsAndReset(t *testing.T) {
+	c := New(DefaultConfig())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.ChargeCompute(1, j%2 == 0)
+				c.ChargeTransmit(Broadcast, 1)
+				c.ChargeProfile(1, 0.1, 0.1, []float64{1, 1, 1, 1})
+				c.ChargeWorker(j%4, 1)
+				s := c.Stats()
+				if s.Ops < 0 || s.TotalTime() < 0 || s.TotalBytes() < 0 {
+					t.Error("snapshot saw inconsistent totals")
+					return
+				}
+				if j%25 == 0 {
+					c.Reset()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	c.Reset()
+	s := c.Stats()
+	if s.Ops != 0 || s.FLOP != 0 || s.TotalBytes() != 0 || s.TotalTime() != 0 {
+		t.Fatalf("Reset left residue: %+v", s)
+	}
+}
+
 func TestPartitionOfBalanced(t *testing.T) {
 	// The hash partition should spread a block grid near-uniformly over the
 	// workers — this is what makes Fig 13's proportions land near 1/6.

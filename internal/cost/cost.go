@@ -409,6 +409,11 @@ const (
 	EWMul
 	// EWDiv is element-wise division.
 	EWDiv
+	// EWSub is subtraction. It prices like EWAdd, but a self-subtraction
+	// V − V yields an exactly empty result rather than the union sparsity
+	// estimate (which would overestimate and propagate through downstream
+	// metadata).
+	EWSub
 )
 
 // EWiseSame prices an element-wise operator whose operands are the same
@@ -417,10 +422,12 @@ const (
 func (m *Model) EWiseSame(kind EWiseKind, a sparsity.Meta, aLocal bool) (sparsity.Meta, Breakdown, bool) {
 	var out sparsity.Meta
 	switch kind {
-	case EWAdd:
+	case EWAdd, EWMul:
 		out = a
-	case EWMul:
-		out = a
+	case EWSub:
+		// V − V cancels exactly: the result is empty, not the union
+		// estimate.
+		out = sparsity.MetaDims(a.Rows, a.Cols, 0)
 	default:
 		out = sparsity.MetaDims(a.Rows, a.Cols, 1)
 	}
@@ -443,7 +450,7 @@ func (m *Model) EWiseSame(kind EWiseKind, a sparsity.Meta, aLocal bool) (sparsit
 func (m *Model) EWise(kind EWiseKind, a, b sparsity.Meta, aLocal, bLocal bool) (sparsity.Meta, Breakdown, bool) {
 	var out sparsity.Meta
 	switch kind {
-	case EWAdd:
+	case EWAdd, EWSub:
 		out = m.est.Add(a, b)
 	case EWMul:
 		out = m.est.ElemMul(a, b)
@@ -494,6 +501,33 @@ func (m *Model) Scale(a sparsity.Meta, aLocal bool) (sparsity.Meta, Breakdown, b
 		bd = m.overhead(bd)
 	}
 	return out, bd, aLocal
+}
+
+// AddScalar returns the metadata and cost of a + scalar on every element.
+// The scalar broadcast writes every output cell, so the result is dense and
+// the pass is priced on the densified output metadata — pricing on a sparse
+// input would under-charge the densified result's volume.
+func (m *Model) AddScalar(a sparsity.Meta, aLocal bool) (sparsity.Meta, Breakdown, bool) {
+	out := sparsity.MetaDims(a.Rows, a.Cols, 1)
+	bd := m.compute(out.NNZ(), aLocal)
+	if !aLocal {
+		bd.Method = DistEWise
+		bd = m.overhead(bd)
+	}
+	return out, bd, aLocal
+}
+
+// Sum returns the metadata and cost of aggregating a matrix into a driver
+// scalar: one pass over the nonzeros, plus — for distributed inputs — the
+// collection of one 8-byte partial per worker.
+func (m *Model) Sum(a sparsity.Meta, aLocal bool) (sparsity.Meta, Breakdown, bool) {
+	out := sparsity.MetaDims(1, 1, 1)
+	bd := m.compute(a.NNZ(), aLocal)
+	if !aLocal {
+		bd = bd.Plus(m.transmit(cluster.Collect, float64(8*m.cfg.Workers())))
+		bd.Method = CollectOp
+	}
+	return out, bd, true
 }
 
 // Collect returns the cost of pulling a distributed value into the driver.

@@ -9,11 +9,13 @@ package distmat
 
 import (
 	"fmt"
+	"time"
 
 	"remac/internal/cluster"
 	"remac/internal/cost"
 	"remac/internal/matrix"
 	"remac/internal/sparsity"
+	"remac/internal/trace"
 )
 
 // Context binds a simulated cluster to the cost model used for runtime
@@ -23,9 +25,10 @@ import (
 type Context struct {
 	Cluster *cluster.Cluster
 	Model   *cost.Model
-	// Trace, when non-nil, receives one line per charged operator
-	// (debugging and the explain tool).
-	Trace func(bd cost.Breakdown)
+	// Recorder, when non-nil, receives one span per charged operator (the
+	// structured replacement of the old Trace callback; remac-bench -trace,
+	// remac-explain and the bench aggregates consume it).
+	Recorder *trace.Recorder
 	// PartitionSec accumulates the simulated time of input reads (the
 	// input-partition phase of Fig 12), separately from the main clock.
 	PartitionSec float64
@@ -36,10 +39,12 @@ func NewContext(c *cluster.Cluster) *Context {
 	return &Context{Cluster: c, Model: cost.NewModel(c.Config(), sparsity.MNC{})}
 }
 
-func (ctx *Context) apply(bd cost.Breakdown) {
-	if ctx.Trace != nil {
-		ctx.Trace(bd)
-	}
+// apply charges the cluster for one operator and mirrors the charge as a
+// trace span. Every charge site must go through here: the mirror is what
+// keeps the stats-equals-spans invariant (summed span seconds and bytes
+// equal Cluster.Stats totals) that the trace tests cross-check.
+func (ctx *Context) apply(kind, label string, bd cost.Breakdown, in []sparsity.Meta, out *sparsity.Meta, wall time.Duration) {
+	ctx.Recorder.Record(trace.Op(kind, label, bd, in, out, wall))
 	ctx.Cluster.ChargeProfile(bd.FLOP, bd.ComputeSec, bd.TransmitSec, bd.Bytes[:])
 }
 
@@ -72,8 +77,9 @@ func New(ctx *Context, m *matrix.Matrix, vRows, vCols int64) *DistMatrix {
 func Read(ctx *Context, m *matrix.Matrix, vRows, vCols int64) *DistMatrix {
 	d := New(ctx, m, vRows, vCols)
 	if !d.local {
-		bd := ctx.Model.DFSRead(d.Meta())
-		ctx.apply(bd)
+		meta := d.Meta()
+		bd := ctx.Model.DFSRead(meta)
+		ctx.apply("dfs-read", "dfs-read", bd, nil, &meta, 0)
 		ctx.PartitionSec += bd.Total()
 		chargeWorkers(ctx, d)
 	}
@@ -110,7 +116,7 @@ func (d *DistMatrix) Mul(o *DistMatrix) *DistMatrix { return d.MulHinted(o, fals
 func (d *DistMatrix) Add(o *DistMatrix) *DistMatrix { return d.ewise(o, cost.EWAdd, "+") }
 
 // Sub returns d - o.
-func (d *DistMatrix) Sub(o *DistMatrix) *DistMatrix { return d.ewise(o, cost.EWAdd, "-") }
+func (d *DistMatrix) Sub(o *DistMatrix) *DistMatrix { return d.ewise(o, cost.EWSub, "-") }
 
 // ElemMul returns d ⊙ o.
 func (d *DistMatrix) ElemMul(o *DistMatrix) *DistMatrix { return d.ewise(o, cost.EWMul, "*") }
@@ -123,6 +129,7 @@ func (d *DistMatrix) ewise(o *DistMatrix, kind cost.EWiseKind, op string) *DistM
 	if d.vMeta.Rows != o.vMeta.Rows || d.vMeta.Cols != o.vMeta.Cols {
 		panic(fmt.Sprintf("distmat: %q virtual dims %dx%d vs %dx%d", op, d.vMeta.Rows, d.vMeta.Cols, o.vMeta.Rows, o.vMeta.Cols))
 	}
+	start := time.Now()
 	var out *matrix.Matrix
 	switch op {
 	case "+":
@@ -134,26 +141,30 @@ func (d *DistMatrix) ewise(o *DistMatrix, kind cost.EWiseKind, op string) *DistM
 	default:
 		out = d.data.ElemDiv(o.data)
 	}
+	wall := time.Since(start)
 	var (
 		outMeta  sparsity.Meta
 		bd       cost.Breakdown
 		outLocal bool
 	)
 	if d == o {
-		// Same value on both sides (e.g. V ⊙ V): partitions are aligned.
+		// Same value on both sides (e.g. V ⊙ V): partitions are aligned,
+		// and self-subtraction cancels to an empty result (cost.EWSub).
 		outMeta, bd, outLocal = d.ctx.Model.EWiseSame(kind, d.vMeta, d.local)
 	} else {
 		outMeta, bd, outLocal = d.ctx.Model.EWise(kind, d.vMeta, o.vMeta, d.local, o.local)
 	}
-	d.ctx.apply(bd)
+	d.ctx.apply("ewise", "ewise/"+op, bd, []sparsity.Meta{d.vMeta, o.vMeta}, &outMeta, wall)
 	return d.derive(out, outMeta, outLocal)
 }
 
 // Transpose returns dᵀ.
 func (d *DistMatrix) Transpose() *DistMatrix {
+	start := time.Now()
 	out := d.data.Transpose()
+	wall := time.Since(start)
 	outMeta, bd, outLocal := d.ctx.Model.Transpose(d.vMeta, d.local)
-	d.ctx.apply(bd)
+	d.ctx.apply("transpose", "transpose", bd, []sparsity.Meta{d.vMeta}, &outMeta, wall)
 	return d.derive(out, outMeta, outLocal)
 }
 
@@ -169,33 +180,38 @@ func (d *DistMatrix) TransposeFused() *DistMatrix {
 
 // Scale returns s · d.
 func (d *DistMatrix) Scale(s float64) *DistMatrix {
+	start := time.Now()
 	out := d.data.Scale(s)
+	wall := time.Since(start)
 	outMeta, bd, outLocal := d.ctx.Model.Scale(d.vMeta, d.local)
-	d.ctx.apply(bd)
+	d.ctx.apply("scale", "scale", bd, []sparsity.Meta{d.vMeta}, &outMeta, wall)
 	return d.derive(out, outMeta, outLocal)
 }
 
 // AddScalar returns d + s on every element, charged as an element-wise
-// pass.
+// pass. The result densifies, so the model prices the pass on the
+// densified output metadata (a sparse input would otherwise under-charge
+// the densified result).
 func (d *DistMatrix) AddScalar(s float64) *DistMatrix {
+	start := time.Now()
 	out := d.data.AddScalar(s)
-	outMeta, bd, outLocal := d.ctx.Model.Scale(d.vMeta, d.local)
-	d.ctx.apply(bd)
-	// Adding a scalar densifies.
-	outMeta = sparsity.MetaDims(outMeta.Rows, outMeta.Cols, 1)
+	wall := time.Since(start)
+	outMeta, bd, outLocal := d.ctx.Model.AddScalar(d.vMeta, d.local)
+	d.ctx.apply("add-scalar", "add-scalar", bd, []sparsity.Meta{d.vMeta}, &outMeta, wall)
 	return d.derive(out, outMeta, outLocal)
 }
 
 // Sum returns the scalar sum of all elements; distributed inputs aggregate
-// per-partition partials and collect them.
+// per-partition partials and collect them. The charge routes through the
+// model's breakdown like every other operator, so it is visible to the
+// trace and its collect bytes follow the breakdown path.
 func (d *DistMatrix) Sum() float64 {
-	bd := cost.Breakdown{FLOP: d.vMeta.NNZ(), Local: d.local}
-	d.ctx.Cluster.ChargeCompute(bd.FLOP, bd.Local)
-	if !d.local {
-		// One partial per worker.
-		d.ctx.Cluster.ChargeTransmit(cluster.Collect, float64(8*d.ctx.Cluster.Config().Workers()))
-	}
-	return d.data.Sum()
+	start := time.Now()
+	v := d.data.Sum()
+	wall := time.Since(start)
+	outMeta, bd, _ := d.ctx.Model.Sum(d.vMeta, d.local)
+	d.ctx.apply("sum", "sum", bd, []sparsity.Meta{d.vMeta}, &outMeta, wall)
+	return v
 }
 
 // chargeWorkers distributes the matrix's virtual bytes across workers by
@@ -260,8 +276,10 @@ func (d *DistMatrix) MulHinted(o *DistMatrix, tsmm bool) *DistMatrix {
 	if d.vMeta.Cols != o.vMeta.Rows {
 		panic(fmt.Sprintf("distmat: Mul virtual dims %dx%d · %dx%d", d.vMeta.Rows, d.vMeta.Cols, o.vMeta.Rows, o.vMeta.Cols))
 	}
+	start := time.Now()
 	out := d.data.Mul(o.data)
+	wall := time.Since(start)
 	outMeta, bd, outLocal := d.ctx.Model.MulHinted(d.vMeta, o.vMeta, d.local, o.local, tsmm)
-	d.ctx.apply(bd)
+	d.ctx.apply("mul", "mul/"+bd.Method.String(), bd, []sparsity.Meta{d.vMeta, o.vMeta}, &outMeta, wall)
 	return d.derive(out, outMeta, outLocal)
 }

@@ -19,6 +19,7 @@ import (
 	"remac/internal/opt"
 	"remac/internal/plan"
 	"remac/internal/search"
+	"remac/internal/trace"
 )
 
 // Input pairs a materialized matrix with its virtual dimensions (paper
@@ -42,6 +43,8 @@ type Result struct {
 	// CompileSec is the real compilation time, reported alongside the
 	// simulated execution phases.
 	CompileSec float64
+	// Trace is the span recorder the run was given (nil for untraced runs).
+	Trace *trace.Recorder
 }
 
 // TotalSec returns the simulated execution time plus compilation.
@@ -53,11 +56,20 @@ const MaxIterations = 100000
 // Run executes a compiled program over the given inputs on a fresh
 // simulated cluster.
 func Run(c *opt.Compiled, inputs map[string]Input) (*Result, error) {
+	return RunTraced(c, inputs, nil)
+}
+
+// RunTraced is Run with a trace recorder attached: every charged operator
+// emits a span, and statement/iteration boundaries enclose them as group
+// spans. A nil recorder disables tracing (Run's behavior).
+func RunTraced(c *opt.Compiled, inputs map[string]Input, rec *trace.Recorder) (*Result, error) {
 	cl := cluster.New(c.Config.Cluster)
 	ctx := distmat.NewContext(cl)
+	ctx.Recorder = rec
 	e := &executor{
 		c:        c,
 		ctx:      ctx,
+		rec:      rec,
 		env:      map[string]*distmat.DistMatrix{},
 		inputs:   inputs,
 		lseCache: map[string]*distmat.DistMatrix{},
@@ -68,7 +80,7 @@ func Run(c *opt.Compiled, inputs map[string]Input) (*Result, error) {
 
 	// Pre-loop statements.
 	for _, sp := range c.Plans.Pre {
-		if err := e.execStmtOriginal(sp); err != nil {
+		if err := e.execStmtTraced(sp); err != nil {
 			return nil, err
 		}
 	}
@@ -83,7 +95,10 @@ func Run(c *opt.Compiled, inputs map[string]Input) (*Result, error) {
 			if !ok {
 				break
 			}
-			if err := e.iteration(); err != nil {
+			id := rec.Begin("iteration", fmt.Sprintf("iteration %d", iterations+1))
+			err = e.iteration()
+			rec.End(id)
+			if err != nil {
 				return nil, err
 			}
 			iterations++
@@ -93,7 +108,7 @@ func Run(c *opt.Compiled, inputs map[string]Input) (*Result, error) {
 		}
 	}
 	for _, sp := range c.Plans.Post {
-		if err := e.execStmtOriginal(sp); err != nil {
+		if err := e.execStmtTraced(sp); err != nil {
 			return nil, err
 		}
 	}
@@ -103,12 +118,14 @@ func Run(c *opt.Compiled, inputs map[string]Input) (*Result, error) {
 		Iterations:        iterations,
 		InputPartitionSec: ctx.PartitionSec,
 		CompileSec:        c.TotalTime.Seconds(),
+		Trace:             rec,
 	}, nil
 }
 
 type executor struct {
 	c      *opt.Compiled
 	ctx    *distmat.Context
+	rec    *trace.Recorder
 	env    map[string]*distmat.DistMatrix
 	inputs map[string]Input
 
@@ -175,7 +192,9 @@ func (e *executor) iteration() error {
 		// SystemDS-style: every statement executes its raw tree through
 		// cost-ordered chain plans; assignments invalidate cached values.
 		for i, sp := range e.c.Plans.Body {
+			id := e.rec.Begin("stmt", sp.Target)
 			v, err := e.eval(e.c.NormalizedBody[i])
+			e.rec.End(id)
 			if err != nil {
 				return fmt.Errorf("engine: %s: %w", sp.Target, err)
 			}
@@ -192,7 +211,9 @@ func (e *executor) iteration() error {
 		}
 		tree := e.c.NormalizedBody[norm]
 		norm++
+		id := e.rec.Begin("stmt", sp.Target)
 		v, err := e.eval(tree)
+		e.rec.End(id)
 		if err != nil {
 			return fmt.Errorf("engine: %s: %w", sp.Target, err)
 		}
@@ -226,6 +247,14 @@ func (e *executor) invalidate(name string) {
 			delete(e.subtreeCache, key)
 		}
 	}
+}
+
+// execStmtTraced runs execStmtOriginal inside a statement group span.
+func (e *executor) execStmtTraced(sp plan.StmtPlan) error {
+	id := e.rec.Begin("stmt", sp.Target)
+	err := e.execStmtOriginal(sp)
+	e.rec.End(id)
+	return err
 }
 
 // execStmtOriginal evaluates a statement's as-written (uninlined) tree —

@@ -2,6 +2,7 @@ package remac
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
@@ -11,6 +12,7 @@ import (
 	"remac/internal/lang"
 	"remac/internal/opt"
 	"remac/internal/sparsity"
+	"remac/internal/trace"
 )
 
 // Strategy selects how elimination options are applied.
@@ -312,11 +314,27 @@ type Report struct {
 
 // Run executes the compiled program on a fresh simulated cluster.
 func (p *Program) Run() (*Report, error) {
+	return p.run(nil)
+}
+
+// RunTraced executes the program like Run and additionally collects a
+// structured trace: one span per charged operator, grouped under
+// statement and iteration boundary spans.
+func (p *Program) RunTraced() (*Report, *RunTrace, error) {
+	rec := trace.New()
+	rep, err := p.run(rec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, &RunTrace{rec: rec}, nil
+}
+
+func (p *Program) run(rec *trace.Recorder) (*Report, error) {
 	ins := map[string]engine.Input{}
 	for name, in := range p.inputs {
 		ins[name] = engine.Input{Data: in.Data.m, VRows: in.VirtualRows, VCols: in.VirtualCols}
 	}
-	res, err := engine.Run(p.compiled, ins)
+	res, err := engine.RunTraced(p.compiled, ins, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -350,3 +368,76 @@ func (p *Program) Run() (*Report, error) {
 
 // TotalSeconds returns simulated execution plus compilation time.
 func (r *Report) TotalSeconds() float64 { return r.SimulatedSeconds + r.CompileSeconds }
+
+// RunTrace is the span record of one traced run (see RunTraced).
+type RunTrace struct {
+	rec *trace.Recorder
+}
+
+// WriteJSONL writes one JSON span per line — the remac-bench/remac -trace
+// file format.
+func (t *RunTrace) WriteJSONL(w io.Writer) error { return t.rec.WriteJSONL(w) }
+
+// StatementCost aggregates the simulated cost of one statement across all
+// of its executions.
+type StatementCost struct {
+	// Statement is the assigned variable ("(outside statements)" collects
+	// charges outside any statement, e.g. inputs read by loop conditions).
+	Statement string
+	// Executions counts how many times the statement ran.
+	Executions int
+	// Ops counts the charged operators it executed.
+	Ops int
+	// ComputeSeconds and TransmitSeconds are simulated totals.
+	ComputeSeconds, TransmitSeconds float64
+}
+
+// StatementCosts returns the per-statement simulated-cost table in program
+// order (the remac-explain view).
+func (t *RunTrace) StatementCosts() []StatementCost {
+	var out []StatementCost
+	for _, g := range t.rec.GroupCosts("stmt") {
+		label := g.Label
+		if label == "" {
+			label = "(outside statements)"
+		}
+		out = append(out, StatementCost{
+			Statement:       label,
+			Executions:      g.Executions,
+			Ops:             g.Ops,
+			ComputeSeconds:  g.ComputeSec,
+			TransmitSeconds: g.TransmitSec,
+		})
+	}
+	return out
+}
+
+// OperatorStat aggregates the spans of one operator kind.
+type OperatorStat struct {
+	// Kind is the operator family: mul, ewise, transpose, scale,
+	// add-scalar, sum, dfs-read.
+	Kind string
+	// Ops counts executions.
+	Ops int
+	// FLOP, ComputeSeconds and TransmitSeconds are simulated totals.
+	FLOP, ComputeSeconds, TransmitSeconds float64
+	// Bytes maps transmission primitive name to total simulated volume.
+	Bytes map[string]float64
+}
+
+// OperatorStats returns per-operator aggregates sorted by descending
+// simulated seconds.
+func (t *RunTrace) OperatorStats() []OperatorStat {
+	var out []OperatorStat
+	for _, k := range t.rec.Summary().ByKind {
+		out = append(out, OperatorStat{
+			Kind:            k.Kind,
+			Ops:             k.Ops,
+			FLOP:            k.FLOP,
+			ComputeSeconds:  k.ComputeSec,
+			TransmitSeconds: k.TransmitSec,
+			Bytes:           k.Bytes,
+		})
+	}
+	return out
+}
