@@ -6,7 +6,7 @@
 //	remac-bench                     # run every experiment
 //	remac-bench -experiment fig9    # run one (table2, fig3a, fig3b, fig8a,
 //	                                # fig8b, fig9, fig10a, fig10b, fig11,
-//	                                # fig12, fig13, options, opstats)
+//	                                # fig12, fig13, options, opstats, faults)
 //	remac-bench -trace out.json     # also dump every run's operator spans
 //	                                # as JSON lines
 package main
@@ -23,7 +23,10 @@ import (
 func main() {
 	experiment := flag.String("experiment", "", "experiment ID to run (default: all)")
 	traceFile := flag.String("trace", "", "write every run's operator spans to this file as JSON lines")
+	faultSeed := flag.Int64("fault-seed", bench.FaultSeed, "fault schedule seed of the faults experiment")
 	flag.Parse()
+
+	bench.FaultSeed = *faultSeed
 
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)

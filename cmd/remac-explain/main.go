@@ -21,6 +21,7 @@ func main() {
 	dsName := flag.String("dataset", "cri2", "dataset name")
 	strategy := flag.String("strategy", "adaptive", "planning strategy")
 	estimator := flag.String("estimator", "MNC", "MD, MNC, Sample")
+	nodes := flag.Int("nodes", 0, "cluster size override (0 = default profile; one node hosts the driver)")
 	flag.Parse()
 
 	iterations := remac.WorkloadIterations(*workload)
@@ -31,9 +32,17 @@ func main() {
 	script, err := remac.WorkloadScript(*workload, iterations)
 	fatal(err)
 
+	clusterCfg := remac.DefaultCluster()
+	if *nodes != 0 {
+		clusterCfg.Nodes = *nodes
+	}
+	if err := clusterCfg.Validate(); err != nil {
+		fatal(fmt.Errorf("invalid cluster configuration: %w", err))
+	}
 	prog, err := remac.Compile(script, inputs, remac.Config{
 		Strategy:   remac.Strategy(*strategy),
 		Estimator:  remac.Estimator(*estimator),
+		Cluster:    clusterCfg,
 		Iterations: iterations,
 	})
 	fatal(err)

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	remac -workload DFP -dataset cri2 -strategy adaptive -iterations 15
+//	remac -workload DFP -faults 60 -fault-seed 7 -checkpoint
 package main
 
 import (
@@ -21,6 +22,10 @@ func main() {
 	estimator := flag.String("estimator", "MNC", "MD, MNC, Sample")
 	iterations := flag.Int("iterations", 0, "loop trip count (0 = workload default)")
 	singleNode := flag.Bool("single-node", false, "use the single-node cluster profile")
+	nodes := flag.Int("nodes", 0, "cluster size override (0 = profile default; one node hosts the driver)")
+	faults := flag.Float64("faults", 0, "inject r worker failures, 2r transmission errors and r stragglers per simulated hour of work")
+	faultSeed := flag.Int64("fault-seed", 1, "fault schedule seed (same seed + rates = same schedule)")
+	checkpoint := flag.Bool("checkpoint", false, "persist loop-hoisted intermediates to DFS so failures recover them by re-reading")
 	traceFile := flag.String("trace", "", "write the run's operator spans to this file as JSON lines")
 	flag.Parse()
 
@@ -38,6 +43,12 @@ func main() {
 	if *singleNode {
 		clusterCfg = remac.SingleNodeCluster()
 	}
+	if *nodes != 0 {
+		clusterCfg.Nodes = *nodes
+	}
+	if err := clusterCfg.Validate(); err != nil {
+		fatal(fmt.Errorf("invalid cluster configuration: %w", err))
+	}
 	prog, err := remac.Compile(script, inputs, remac.Config{
 		Strategy:   remac.Strategy(*strategy),
 		Estimator:  remac.Estimator(*estimator),
@@ -46,17 +57,27 @@ func main() {
 	})
 	fatal(err)
 
+	opts := remac.RunOptions{Checkpoint: *checkpoint}
+	if *faults > 0 {
+		opts.Faults = &remac.FaultConfig{
+			Seed:                  *faultSeed,
+			WorkerFailuresPerHour: *faults,
+			TransmitErrorsPerHour: 2 * *faults,
+			StragglersPerHour:     *faults,
+		}
+	}
+
 	var report *remac.Report
 	if *traceFile != "" {
 		var tr *remac.RunTrace
-		report, tr, err = prog.RunTraced()
+		report, tr, err = prog.RunTracedWithOptions(opts)
 		fatal(err)
 		f, err := os.Create(*traceFile)
 		fatal(err)
 		fatal(tr.WriteJSONL(f))
 		fatal(f.Close())
 	} else {
-		report, err = prog.Run()
+		report, err = prog.RunWithOptions(opts)
 		fatal(err)
 	}
 
@@ -65,6 +86,10 @@ func main() {
 	fmt.Printf("  input partition     %10.1f s (simulated)\n", report.InputPartitionSeconds)
 	fmt.Printf("  execution           %10.1f s (simulated: %.1f compute + %.1f transmission)\n",
 		report.SimulatedSeconds-report.InputPartitionSeconds, report.ComputeSeconds, report.TransmitSeconds)
+	if *faults > 0 {
+		fmt.Printf("  fault recovery      %10.1f s (simulated: %d retries, %d worker failures, %.2f recompute GFLOP)\n",
+			report.RecoverySeconds, report.Retries, report.FailedWorkers, report.RecomputeFLOP/1e9)
+	}
 	if keys := prog.SelectedKeys(); len(keys) > 0 {
 		fmt.Printf("  applied options     %v\n", keys)
 	}

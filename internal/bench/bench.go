@@ -16,6 +16,7 @@ import (
 	"remac/internal/cluster"
 	"remac/internal/data"
 	"remac/internal/engine"
+	"remac/internal/fault"
 	"remac/internal/opt"
 	"remac/internal/sparsity"
 	"remac/internal/trace"
@@ -90,6 +91,10 @@ type runCfg struct {
 	iterations int
 	cluster    cluster.Config
 	manualKeys []string
+	// faults, when any rate is nonzero, injects deterministic failures
+	// during the run; checkpoint persists LSE values against them.
+	faults     fault.Config
+	checkpoint bool
 }
 
 // runOut is the measurement of one run.
@@ -101,6 +106,12 @@ type runOut struct {
 	TransmitSec  float64
 	WorkerShares []float64
 	Selected     []string
+
+	// Fault accounting (zero for perfect-cluster runs).
+	Retries       int
+	RecoverySec   float64
+	RecomputeFLOP float64
+	FailedWorkers int
 }
 
 var (
@@ -210,7 +221,12 @@ func runOneTraced(cfg runCfg, rec *trace.Recorder) (*runOut, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%v/%s/%v: %w", cfg.alg, cfg.dataset, cfg.strategy, err)
 	}
-	res, err := engine.RunTraced(compiled, ins, rec)
+	fcfg := cfg.faults
+	fcfg.Workers = cfg.cluster.Workers()
+	res, err := engine.RunWithOptions(compiled, ins, rec, engine.RunOptions{
+		Faults:     fault.NewPlan(fcfg),
+		Checkpoint: cfg.checkpoint,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("%v/%s/%v: %w", cfg.alg, cfg.dataset, cfg.strategy, err)
 	}
@@ -220,6 +236,11 @@ func runOneTraced(cfg runCfg, rec *trace.Recorder) (*runOut, error) {
 		CompileSec:   res.CompileSec,
 		ComputeSec:   res.Stats.ComputeTime,
 		TransmitSec:  res.Stats.TransmitTime,
+
+		Retries:       res.Stats.Retries,
+		RecoverySec:   res.Stats.RecoverySec,
+		RecomputeFLOP: res.Stats.RecomputeFLOP,
+		FailedWorkers: res.Stats.FailedWorkers,
 	}
 	total := 0.0
 	for _, b := range res.Stats.WorkerBytes {
@@ -252,10 +273,11 @@ var Experiments = map[string]func() (*Table, error){
 	"fig13":   Fig13,
 	"options": OptionCensus,
 	"opstats": OpStats,
+	"faults":  Faults,
 }
 
 // IDs lists experiment IDs in presentation order.
-var IDs = []string{"table2", "fig3a", "fig3b", "fig8a", "fig8b", "fig9", "fig10a", "fig10b", "fig11", "fig12", "fig13", "options", "opstats"}
+var IDs = []string{"table2", "fig3a", "fig3b", "fig8a", "fig8b", "fig9", "fig10a", "fig10b", "fig11", "fig12", "fig13", "options", "opstats", "faults"}
 
 // OpStats records per-operator aggregates for a traced DFP run: how many
 // operators of each kind executed, and where the simulated time and bytes

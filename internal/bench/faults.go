@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+
+	"remac/internal/algorithms"
+	"remac/internal/cluster"
+	"remac/internal/fault"
+	"remac/internal/opt"
+)
+
+// FaultSeed selects the fault schedule of the Faults experiment
+// (remac-bench -fault-seed).
+var FaultSeed int64 = 11
+
+// Faults measures resilience of the elimination strategies: DFP on cri2
+// under increasing failure rates, comparing the no-elimination baseline
+// against ReMac (Aggressive) with and without checkpointing of hoisted LSE
+// values. The driver heap is shrunk so hoisted intermediates live on the
+// workers — with the default heap they would sit in driver memory, out of
+// reach of worker failures, and checkpointing would have nothing to protect.
+func Faults() (*Table, error) {
+	cfg := cluster.DefaultConfig()
+	cfg.DriverMemory = 512 << 20
+	const iters = 5
+
+	t := &Table{ID: "Faults", Title: fmt.Sprintf("DFP on cri2 under injected failures (seed %d)", FaultSeed),
+		Columns: []string{"exec(s)", "recovery(s)", "recompGFLOP", "retries", "failures"}}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d iterations, driver heap 512MB so LSE values are worker-resident", iters),
+		"rate r/h schedules r worker failures, 2r transmission errors, r stragglers per simulated hour of work",
+		"elimination concentrates the run into one large shuffled LSE, raising retry exposure; checkpointing removes its recompute FLOP",
+	)
+
+	rates := []float64{30, 120, 480}
+	variants := []struct {
+		label      string
+		strategy   opt.Strategy
+		checkpoint bool
+	}{
+		{"no-elim", opt.NoElimination, false},
+		{"ReMac", opt.Aggressive, false},
+		{"ReMac+ckpt", opt.Aggressive, true},
+	}
+	for _, rate := range rates {
+		for _, v := range variants {
+			out, err := runOne(runCfg{
+				alg: algorithms.DFP, dataset: "cri2",
+				strategy: v.strategy, iterations: iters, cluster: cfg,
+				checkpoint: v.checkpoint,
+				faults: fault.Config{
+					Seed:                  FaultSeed,
+					WorkerFailuresPerHour: rate,
+					TransmitErrorsPerHour: 2 * rate,
+					StragglersPerHour:     rate,
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, Row{
+				Label: fmt.Sprintf("%s @%g/h", v.label, rate),
+				Values: map[string]float64{
+					"exec(s)":     out.ExecSec,
+					"recovery(s)": out.RecoverySec,
+					"recompGFLOP": out.RecomputeFLOP / 1e9,
+					"retries":     float64(out.Retries),
+					"failures":    float64(out.FailedWorkers),
+				},
+			})
+		}
+	}
+	return t, nil
+}

@@ -13,7 +13,10 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"sync"
+
+	"remac/internal/fault"
 )
 
 // Primitive enumerates the four transmission primitives of the cost model
@@ -126,6 +129,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cluster: BlockSize = %d, need >= 1", c.BlockSize)
 	case c.Efficiency <= 0 || c.Efficiency > 1:
 		return fmt.Errorf("cluster: Efficiency = %g, need (0,1]", c.Efficiency)
+	case c.DriverMemory < 0:
+		return fmt.Errorf("cluster: DriverMemory = %d, need >= 0", c.DriverMemory)
 	case c.JobOverheadSec < 0:
 		return fmt.Errorf("cluster: JobOverheadSec = %g, need >= 0", c.JobOverheadSec)
 	case c.SparsePenalty < 1:
@@ -190,10 +195,16 @@ type Stats struct {
 	Bytes        [numPrimitives]float64 // per-primitive data volume
 	WorkerBytes  []float64              // per-worker processed data volume
 	Ops          int                    // operator executions charged
+
+	// Fault-injection accounting (all zero on a perfect cluster).
+	Retries       int     // retry attempts after transmission errors
+	RecoverySec   float64 // backoff, retransmission, straggling and recomputation seconds
+	RecomputeFLOP float64 // FLOP re-executed to rebuild lost blocks (not in FLOP)
+	FailedWorkers int     // worker-failure events injected
 }
 
-// TotalTime returns the simulated wall-clock seconds.
-func (s Stats) TotalTime() float64 { return s.ComputeTime + s.TransmitTime }
+// TotalTime returns the simulated wall-clock seconds, recovery included.
+func (s Stats) TotalTime() float64 { return s.ComputeTime + s.TransmitTime + s.RecoverySec }
 
 // BytesFor returns the accumulated volume of one primitive.
 func (s Stats) BytesFor(p Primitive) float64 { return s.Bytes[p] }
@@ -214,36 +225,85 @@ type Cluster struct {
 
 	mu    sync.Mutex
 	stats Stats
+	inj   *fault.Injector
+	// backoffBase is the first-retry delay of the attached plan.
+	backoffBase float64
+	// onFault receives the accounted consequence of each fired event, after
+	// the cluster's own bookkeeping and outside the lock (the observer may
+	// charge recovery back into the cluster).
+	onFault func(FaultCharge)
 }
 
 // New returns a cluster for the configuration. It panics on an invalid
-// configuration (programmer error).
+// configuration (programmer error); CLI front-ends should use NewChecked.
 func New(cfg Config) *Cluster {
-	if err := cfg.Validate(); err != nil {
+	c, err := NewChecked(cfg)
+	if err != nil {
 		panic(err)
 	}
-	return &Cluster{cfg: cfg, stats: Stats{WorkerBytes: make([]float64, cfg.Workers())}}
+	return c
+}
+
+// NewChecked returns a cluster for the configuration, or the validation
+// error for an invalid one.
+func NewChecked(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cluster{cfg: cfg, stats: Stats{WorkerBytes: make([]float64, cfg.Workers())}}, nil
+}
+
+// FaultCharge is the accounted consequence of one fired fault event: the
+// recovery seconds and retransmitted bytes the cluster added to its stats.
+type FaultCharge struct {
+	Event       fault.Event
+	RecoverySec float64
+	Bytes       [numPrimitives]float64
+}
+
+// SetFaults attaches a fault plan. Every subsequent Charge* call advances
+// the plan's injector across the charge's clock window and accounts the
+// fired events: stragglers stretch the charged operator, transmission
+// errors retry the failed task (capped exponential backoff plus one
+// worker's share of the transmission), and worker
+// failures are counted for the runtime's lazy lineage recovery. observer
+// (optional) is invoked once per fired event, outside the cluster lock.
+// A nil plan detaches fault injection.
+func (c *Cluster) SetFaults(p *fault.Plan, observer func(FaultCharge)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inj = p.NewInjector()
+	c.backoffBase = p.BackoffBase()
+	c.onFault = observer
 }
 
 // Config returns the cluster configuration.
 func (c *Cluster) Config() Config { return c.cfg }
+
+// profile is the priced shape of one charge, shared by every Charge* entry
+// point so fault handling sees a uniform view of the operator.
+type profile struct {
+	flop        float64
+	computeSec  float64
+	transmitSec float64
+	bytes       [numPrimitives]float64
+	countOp     bool
+}
+
+func (p profile) totalSec() float64 { return p.computeSec + p.transmitSec }
 
 // ChargeProfile adds a fully-priced operator execution: the times are taken
 // as given rather than recomputed from rates, because the cost model may
 // include penalties (job overhead, sparse-kernel efficiency, spill factors)
 // that plain rate arithmetic would drop.
 func (c *Cluster) ChargeProfile(flop, computeSec, transmitSec float64, bytes []float64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.stats.FLOP += flop
-	c.stats.ComputeTime += computeSec
-	c.stats.TransmitTime += transmitSec
+	prof := profile{flop: flop, computeSec: computeSec, transmitSec: transmitSec, countOp: true}
 	for i, b := range bytes {
-		if i < len(c.stats.Bytes) {
-			c.stats.Bytes[i] += b
+		if i < len(prof.bytes) {
+			prof.bytes[i] += b
 		}
 	}
-	c.stats.Ops++
+	c.charge(prof)
 }
 
 // ChargeCompute adds flop to the accumulator, timed at distributed or local
@@ -253,11 +313,7 @@ func (c *Cluster) ChargeCompute(flop float64, local bool) {
 	if local {
 		speed = c.cfg.LocalFlops()
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.stats.FLOP += flop
-	c.stats.ComputeTime += flop / speed
-	c.stats.Ops++
+	c.charge(profile{flop: flop, computeSec: flop / speed, countOp: true})
 }
 
 // ChargeTransmit adds a transmission of the given volume.
@@ -265,11 +321,127 @@ func (c *Cluster) ChargeTransmit(p Primitive, bytes float64) {
 	if bytes <= 0 {
 		return
 	}
-	w := c.cfg.TransmitWeight(p)
+	var prof profile
+	prof.bytes[p] = bytes
+	prof.transmitSec = c.cfg.TransmitWeight(p) * bytes
+	c.charge(prof)
+}
+
+// charge applies one priced profile and, when a fault plan is attached,
+// fires the events falling inside the charge's clock window. The injection
+// window is measured on the work clock (compute + transmit, excluding
+// RecoverySec): fault rates expose useful work only, so recovery time never
+// breeds further faults and the accounting cannot feed back on itself (with
+// per-hour rates above an operator's inverse duration, a total clock
+// including recovery would otherwise diverge).
+func (c *Cluster) charge(prof profile) {
+	c.mu.Lock()
+	before := c.stats.ComputeTime + c.stats.TransmitTime
+	c.stats.FLOP += prof.flop
+	c.stats.ComputeTime += prof.computeSec
+	c.stats.TransmitTime += prof.transmitSec
+	for i, b := range prof.bytes {
+		c.stats.Bytes[i] += b
+	}
+	if prof.countOp {
+		c.stats.Ops++
+	}
+	var fired []FaultCharge
+	if c.inj != nil {
+		fired = c.injectLocked(before, c.stats.ComputeTime+c.stats.TransmitTime, prof)
+	}
+	observer := c.onFault
+	c.mu.Unlock()
+	if observer != nil {
+		for _, fc := range fired {
+			observer(fc)
+		}
+	}
+}
+
+// maxBackoffDoublings caps the retry delay at base·2⁶, the usual bound in
+// capped-exponential-backoff retry policies.
+const maxBackoffDoublings = 6
+
+// injectLocked accounts the fault events in the window (from, to]: the
+// retry/backoff/straggling costs land in RecoverySec (so the clock keeps
+// advancing deterministically) and retransmitted bytes in Bytes. Worker
+// failures are only counted here — the lost blocks are lazily recomputed by
+// the runtime when next used (see distmat's lineage repair). Recovery
+// charges themselves are not re-injected, so a fault can never cascade
+// unboundedly within one charge.
+func (c *Cluster) injectLocked(from, to float64, prof profile) []FaultCharge {
+	events := c.inj.Advance(from, to)
+	if len(events) == 0 {
+		return nil
+	}
+	fired := make([]FaultCharge, 0, len(events))
+	retries := 0
+	stretched := 1.0
+	for _, ev := range events {
+		fc := FaultCharge{Event: ev}
+		switch ev.Kind {
+		case fault.Straggler:
+			factor := ev.Factor
+			if factor <= 1 {
+				factor = fault.DefaultStragglerFactor
+			}
+			// The stage waits on its slowest task: the operator stretches
+			// to the straggler factor. Straggling tasks idle in parallel,
+			// so several stragglers within one charge cost the maximum
+			// stretch, not the sum.
+			if factor > stretched {
+				fc.RecoverySec = (factor - stretched) * prof.totalSec()
+				stretched = factor
+			}
+		case fault.TransmissionError:
+			// Capped exponential backoff per consecutive retry of one
+			// operator, then re-execute the transmission (or, for
+			// compute-only operators, re-run the task). Without the cap a
+			// long operator collecting tens of errors in one charge would
+			// owe 2^tens delays.
+			exp := retries
+			if exp > maxBackoffDoublings {
+				exp = maxBackoffDoublings
+			}
+			delay := c.backoffBase * math.Pow(2, float64(exp))
+			retries++
+			// One in-flight task fails, so one worker's share of the
+			// operator re-runs — stages retry tasks, not themselves.
+			w := float64(c.cfg.Workers())
+			if prof.transmitSec > 0 {
+				fc.RecoverySec = delay + prof.transmitSec/w
+				for i, b := range prof.bytes {
+					fc.Bytes[i] = b / w
+				}
+			} else {
+				fc.RecoverySec = delay + prof.computeSec/w
+			}
+			c.stats.Retries++
+		case fault.WorkerFailure:
+			c.stats.FailedWorkers++
+		}
+		c.stats.RecoverySec += fc.RecoverySec
+		for i, b := range fc.Bytes {
+			c.stats.Bytes[i] += b
+		}
+		fired = append(fired, fc)
+	}
+	return fired
+}
+
+// ChargeRecovery accounts lineage or checkpoint recovery work performed by
+// the runtime after a worker failure: sec lands in RecoverySec, flop in
+// RecomputeFLOP and bytes in the per-primitive volumes. Recovery charges
+// deliberately do not consult the fault injector.
+func (c *Cluster) ChargeRecovery(flop, sec float64, bytes [4]float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.stats.Bytes[p] += bytes
-	c.stats.TransmitTime += w * bytes
+	c.stats.RecomputeFLOP += flop
+	c.stats.RecoverySec += sec
+	for i, b := range bytes {
+		c.stats.Bytes[i] += b
+	}
 }
 
 // ChargeWorker records that worker w processed the given data volume (used

@@ -19,13 +19,23 @@ func TestDefaultConfigValid(t *testing.T) {
 func TestConfigValidation(t *testing.T) {
 	cases := []func(*Config){
 		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.Nodes = -3 },
 		func(c *Config) { c.CoresPerNode = 0 },
+		func(c *Config) { c.CoresPerNode = -1 },
 		func(c *Config) { c.FlopsPerCore = 0 },
+		func(c *Config) { c.FlopsPerCore = -1e9 },
+		func(c *Config) { c.NetBandwidth = 0 },
 		func(c *Config) { c.NetBandwidth = -1 },
 		func(c *Config) { c.DiskBandwidth = 0 },
+		func(c *Config) { c.DiskBandwidth = -150e6 },
 		func(c *Config) { c.BlockSize = 0 },
+		func(c *Config) { c.BlockSize = -1000 },
 		func(c *Config) { c.Efficiency = 0 },
+		func(c *Config) { c.Efficiency = -0.1 },
 		func(c *Config) { c.Efficiency = 1.5 },
+		func(c *Config) { c.DriverMemory = -1 },
+		func(c *Config) { c.JobOverheadSec = -0.5 },
+		func(c *Config) { c.SparsePenalty = 0.5 },
 	}
 	for i, mutate := range cases {
 		cfg := DefaultConfig()
@@ -33,6 +43,14 @@ func TestConfigValidation(t *testing.T) {
 		if err := cfg.Validate(); err == nil {
 			t.Errorf("case %d: expected validation error", i)
 		}
+	}
+	// Boundary values that must remain valid.
+	ok := DefaultConfig()
+	ok.Efficiency = 1
+	ok.JobOverheadSec = 0
+	ok.SparsePenalty = 1
+	if err := ok.Validate(); err != nil {
+		t.Errorf("boundary config rejected: %v", err)
 	}
 }
 
@@ -268,4 +286,74 @@ func TestNewPanicsOnInvalid(t *testing.T) {
 		}
 	}()
 	New(Config{})
+}
+
+func TestNewCheckedReturnsErrorNotPanic(t *testing.T) {
+	if _, err := NewChecked(Config{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	c, err := NewChecked(DefaultConfig())
+	if err != nil || c == nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if c.Config().Nodes != 7 {
+		t.Fatal("config not retained")
+	}
+}
+
+// TestPartitionOfSpread is the satellite coverage for the hash partition:
+// across several grid shapes the assignment must stay within ±20% of
+// uniform for every worker.
+func TestPartitionOfSpread(t *testing.T) {
+	c := New(DefaultConfig())
+	w := c.Config().Workers()
+	shapes := []struct{ rows, cols int }{
+		{48, 48}, {100, 10}, {10, 100}, {64, 32}, {1000, 1}, {1, 1000},
+	}
+	for _, sh := range shapes {
+		counts := make([]int, w)
+		for br := 0; br < sh.rows; br++ {
+			for bc := 0; bc < sh.cols; bc++ {
+				counts[c.PartitionOf(br, bc)]++
+			}
+		}
+		want := float64(sh.rows*sh.cols) / float64(w)
+		for wk, got := range counts {
+			if math.Abs(float64(got)-want)/want > 0.20 {
+				t.Errorf("grid %dx%d: worker %d holds %d blocks, want %.0f ±20%%",
+					sh.rows, sh.cols, wk, got, want)
+			}
+		}
+	}
+}
+
+func TestPartitionOfSingleWorker(t *testing.T) {
+	c := New(SingleNodeConfig())
+	for br := 0; br < 50; br++ {
+		for bc := 0; bc < 50; bc++ {
+			if p := c.PartitionOf(br, bc); p != 0 {
+				t.Fatalf("single-worker partition (%d,%d) = %d, want 0", br, bc, p)
+			}
+		}
+	}
+}
+
+func TestStatsSnapshotIsolation(t *testing.T) {
+	c := New(DefaultConfig())
+	c.ChargeWorker(0, 10)
+	c.ChargeWorker(3, 7)
+	s := c.Stats()
+	// Mutating every element of the returned slice must not leak back.
+	for i := range s.WorkerBytes {
+		s.WorkerBytes[i] = -1
+	}
+	s2 := c.Stats()
+	if s2.WorkerBytes[0] != 10 || s2.WorkerBytes[3%len(s2.WorkerBytes)] != 7 {
+		t.Fatalf("snapshot aliases internal state: %v", s2.WorkerBytes)
+	}
+	// And two snapshots must not alias each other.
+	s2.WorkerBytes[1] = 42
+	if c.Stats().WorkerBytes[1] == 42 {
+		t.Fatal("snapshots share backing storage")
+	}
 }

@@ -554,5 +554,15 @@ func (m *Model) DFSRead(a sparsity.Meta) Breakdown {
 	return bd
 }
 
+// DFSWrite returns the cost of persisting a distributed matrix to the
+// distributed filesystem (the checkpoint write of the fault-recovery
+// policy). Unlike DFSRead there is no partition shuffle: blocks are already
+// hash-partitioned and each worker streams its own blocks to disk.
+func (m *Model) DFSWrite(a sparsity.Meta) Breakdown {
+	bd := m.transmit(cluster.DFS, m.bytesOf(a))
+	bd.Method = DFSIO
+	return bd
+}
+
 // SizeBytes exposes the modelled size of a shape (for reporting).
 func SizeBytes(a sparsity.Meta) float64 { return bytesOf(a) }

@@ -9,10 +9,12 @@ package distmat
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"remac/internal/cluster"
 	"remac/internal/cost"
+	"remac/internal/fault"
 	"remac/internal/matrix"
 	"remac/internal/sparsity"
 	"remac/internal/trace"
@@ -32,11 +34,32 @@ type Context struct {
 	// PartitionSec accumulates the simulated time of input reads (the
 	// input-partition phase of Fig 12), separately from the main clock.
 	PartitionSec float64
+
+	// failEpoch counts worker-failure events observed so far. Every
+	// DistMatrix remembers the epoch at which it was last fully resident;
+	// a distributed value whose epoch lags behind lost blocks to the
+	// failures in between and lazily repairs itself when next used.
+	failEpoch int
 }
 
 // NewContext creates a runtime context for a cluster.
 func NewContext(c *cluster.Cluster) *Context {
 	return &Context{Cluster: c, Model: cost.NewModel(c.Config(), sparsity.MNC{})}
+}
+
+// EnableFaults attaches a fault plan to the context's cluster and routes
+// every fired event back through the context, so worker failures invalidate
+// lineage epochs and every fault charge is mirrored as a trace span
+// (keeping the stats-equals-spans invariant under injected faults).
+func (ctx *Context) EnableFaults(p *fault.Plan) {
+	ctx.Cluster.SetFaults(p, ctx.onFault)
+}
+
+func (ctx *Context) onFault(fc cluster.FaultCharge) {
+	if fc.Event.Kind == fault.WorkerFailure {
+		ctx.failEpoch++
+	}
+	ctx.Recorder.Record(trace.FaultOp("fault", "fault/"+fc.Event.Kind.String(), fc.RecoverySec, 0, fc.Bytes))
 }
 
 // apply charges the cluster for one operator and mirrors the charge as a
@@ -59,6 +82,16 @@ type DistMatrix struct {
 	// depends on the absolute dimensions, which the sample does not have.
 	vMeta sparsity.Meta
 	local bool
+	// prod is the lineage: the breakdown charged to produce this value.
+	// Recovering blocks lost to a worker failure re-runs a fraction of it
+	// (inputs keep a zero prod and recover by re-reading DFS instead).
+	prod cost.Breakdown
+	// epoch is the failure epoch at which the value was last fully
+	// resident; repair() settles the difference against ctx.failEpoch.
+	epoch int
+	// ckpt marks values persisted to DFS by Checkpoint; their recovery
+	// costs a DFS read regardless of lineage.
+	ckpt bool
 }
 
 // New wraps a materialized matrix with virtual dimensions and places it
@@ -66,7 +99,7 @@ type DistMatrix struct {
 // uses the actual dimensions.
 func New(ctx *Context, m *matrix.Matrix, vRows, vCols int64) *DistMatrix {
 	meta := sparsity.Virtualize(sparsity.MetaOf(m), vRows, vCols)
-	d := &DistMatrix{ctx: ctx, data: m, vMeta: meta}
+	d := &DistMatrix{ctx: ctx, data: m, vMeta: meta, epoch: ctx.failEpoch}
 	d.local = ctx.Model.FitsLocal(meta)
 	return d
 }
@@ -98,9 +131,64 @@ func (d *DistMatrix) VirtualDims() (int64, int64) { return d.vMeta.Rows, d.vMeta
 // Meta returns the virtual-scale estimation descriptor.
 func (d *DistMatrix) Meta() sparsity.Meta { return d.vMeta }
 
-func (d *DistMatrix) derive(m *matrix.Matrix, meta sparsity.Meta, local bool) *DistMatrix {
-	return &DistMatrix{ctx: d.ctx, data: m, vMeta: meta, local: local}
+func (d *DistMatrix) derive(m *matrix.Matrix, meta sparsity.Meta, local bool, prod cost.Breakdown) *DistMatrix {
+	return &DistMatrix{ctx: d.ctx, data: m, vMeta: meta, local: local, prod: prod, epoch: d.ctx.failEpoch}
 }
+
+// repair settles a value whose blocks were lost to worker failures since it
+// was last resident: it charges the lost partition fraction of the value's
+// recovery cost (checkpoint read, lineage recomputation, or DFS re-read for
+// inputs) and mirrors the charge as a recovery span. Called on every
+// operand use, it makes recovery lazy the way Spark's lineage model is —
+// values never touched after a failure cost nothing.
+func (d *DistMatrix) repair() {
+	ctx := d.ctx
+	if d.epoch == ctx.failEpoch {
+		return
+	}
+	k := ctx.failEpoch - d.epoch
+	d.epoch = ctx.failEpoch
+	if d.local {
+		return // driver memory survives worker failures
+	}
+	// Each failure loses a 1/W slice of the partitions; k independent
+	// failures lose 1-(1-1/W)^k of them.
+	w := float64(ctx.Cluster.Config().Workers())
+	lost := 1 - math.Pow(1-1/w, float64(k))
+	bd, label := d.prod, "recovery/lineage"
+	if d.ckpt {
+		bd, label = ctx.Model.DFSRead(d.vMeta), "recovery/checkpoint"
+	} else if bd.FLOP == 0 && bd.Total() == 0 {
+		// Inputs (and other values with no recorded lineage) are re-read
+		// from the fault-tolerant store.
+		bd, label = ctx.Model.DFSRead(d.vMeta), "recovery/dfs-read"
+	}
+	var bytes [4]float64
+	for i := range bytes {
+		bytes[i] = bd.Bytes[i] * lost
+	}
+	flop := bd.FLOP * lost
+	sec := bd.Total() * lost
+	ctx.Cluster.ChargeRecovery(flop, sec, bytes)
+	ctx.Recorder.Record(trace.FaultOp("recovery", label, sec, flop, bytes))
+}
+
+// Checkpoint persists the value to DFS so later failures recover it at
+// DFS-read cost instead of re-running its lineage. No-op for local or
+// already-checkpointed values.
+func (d *DistMatrix) Checkpoint() {
+	if d.local || d.ckpt {
+		return
+	}
+	d.repair() // blocks lost before the write must be rebuilt first
+	meta := d.vMeta
+	bd := d.ctx.Model.DFSWrite(meta)
+	d.ctx.apply("checkpoint", "checkpoint/dfs-write", bd, []sparsity.Meta{meta}, nil, 0)
+	d.ckpt = true
+}
+
+// Checkpointed reports whether the value has been persisted to DFS.
+func (d *DistMatrix) Checkpointed() bool { return d.ckpt }
 
 func (d *DistMatrix) sameCtx(o *DistMatrix) {
 	if d.ctx != o.ctx {
@@ -129,6 +217,8 @@ func (d *DistMatrix) ewise(o *DistMatrix, kind cost.EWiseKind, op string) *DistM
 	if d.vMeta.Rows != o.vMeta.Rows || d.vMeta.Cols != o.vMeta.Cols {
 		panic(fmt.Sprintf("distmat: %q virtual dims %dx%d vs %dx%d", op, d.vMeta.Rows, d.vMeta.Cols, o.vMeta.Rows, o.vMeta.Cols))
 	}
+	d.repair()
+	o.repair()
 	start := time.Now()
 	var out *matrix.Matrix
 	switch op {
@@ -155,17 +245,18 @@ func (d *DistMatrix) ewise(o *DistMatrix, kind cost.EWiseKind, op string) *DistM
 		outMeta, bd, outLocal = d.ctx.Model.EWise(kind, d.vMeta, o.vMeta, d.local, o.local)
 	}
 	d.ctx.apply("ewise", "ewise/"+op, bd, []sparsity.Meta{d.vMeta, o.vMeta}, &outMeta, wall)
-	return d.derive(out, outMeta, outLocal)
+	return d.derive(out, outMeta, outLocal, bd)
 }
 
 // Transpose returns dᵀ.
 func (d *DistMatrix) Transpose() *DistMatrix {
+	d.repair()
 	start := time.Now()
 	out := d.data.Transpose()
 	wall := time.Since(start)
 	outMeta, bd, outLocal := d.ctx.Model.Transpose(d.vMeta, d.local)
 	d.ctx.apply("transpose", "transpose", bd, []sparsity.Meta{d.vMeta}, &outMeta, wall)
-	return d.derive(out, outMeta, outLocal)
+	return d.derive(out, outMeta, outLocal, bd)
 }
 
 // TransposeFused returns dᵀ without charging the cluster: leaf transposes
@@ -174,18 +265,21 @@ func (d *DistMatrix) Transpose() *DistMatrix {
 // rather than materializing t(A)), and the cost model prices the fused
 // multiply on the transposed metadata.
 func (d *DistMatrix) TransposeFused() *DistMatrix {
+	d.repair()
 	out := d.data.Transpose()
-	return d.derive(out, sparsity.MNC{}.Transpose(d.vMeta), d.local)
+	// Uncharged: the fused view inherits its parent's lineage.
+	return d.derive(out, sparsity.MNC{}.Transpose(d.vMeta), d.local, d.prod)
 }
 
 // Scale returns s · d.
 func (d *DistMatrix) Scale(s float64) *DistMatrix {
+	d.repair()
 	start := time.Now()
 	out := d.data.Scale(s)
 	wall := time.Since(start)
 	outMeta, bd, outLocal := d.ctx.Model.Scale(d.vMeta, d.local)
 	d.ctx.apply("scale", "scale", bd, []sparsity.Meta{d.vMeta}, &outMeta, wall)
-	return d.derive(out, outMeta, outLocal)
+	return d.derive(out, outMeta, outLocal, bd)
 }
 
 // AddScalar returns d + s on every element, charged as an element-wise
@@ -193,12 +287,13 @@ func (d *DistMatrix) Scale(s float64) *DistMatrix {
 // densified output metadata (a sparse input would otherwise under-charge
 // the densified result).
 func (d *DistMatrix) AddScalar(s float64) *DistMatrix {
+	d.repair()
 	start := time.Now()
 	out := d.data.AddScalar(s)
 	wall := time.Since(start)
 	outMeta, bd, outLocal := d.ctx.Model.AddScalar(d.vMeta, d.local)
 	d.ctx.apply("add-scalar", "add-scalar", bd, []sparsity.Meta{d.vMeta}, &outMeta, wall)
-	return d.derive(out, outMeta, outLocal)
+	return d.derive(out, outMeta, outLocal, bd)
 }
 
 // Sum returns the scalar sum of all elements; distributed inputs aggregate
@@ -206,6 +301,7 @@ func (d *DistMatrix) AddScalar(s float64) *DistMatrix {
 // model's breakdown like every other operator, so it is visible to the
 // trace and its collect bytes follow the breakdown path.
 func (d *DistMatrix) Sum() float64 {
+	d.repair()
 	start := time.Now()
 	v := d.data.Sum()
 	wall := time.Since(start)
@@ -276,10 +372,12 @@ func (d *DistMatrix) MulHinted(o *DistMatrix, tsmm bool) *DistMatrix {
 	if d.vMeta.Cols != o.vMeta.Rows {
 		panic(fmt.Sprintf("distmat: Mul virtual dims %dx%d · %dx%d", d.vMeta.Rows, d.vMeta.Cols, o.vMeta.Rows, o.vMeta.Cols))
 	}
+	d.repair()
+	o.repair()
 	start := time.Now()
 	out := d.data.Mul(o.data)
 	wall := time.Since(start)
 	outMeta, bd, outLocal := d.ctx.Model.MulHinted(d.vMeta, o.vMeta, d.local, o.local, tsmm)
 	d.ctx.apply("mul", "mul/"+bd.Method.String(), bd, []sparsity.Meta{d.vMeta, o.vMeta}, &outMeta, wall)
-	return d.derive(out, outMeta, outLocal)
+	return d.derive(out, outMeta, outLocal, bd)
 }

@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -14,6 +15,7 @@ import (
 	"remac/internal/cluster"
 	"remac/internal/costgraph"
 	"remac/internal/distmat"
+	"remac/internal/fault"
 	"remac/internal/lang"
 	"remac/internal/matrix"
 	"remac/internal/opt"
@@ -53,6 +55,39 @@ func (r *Result) TotalSec() float64 { return r.Stats.TotalTime() + r.CompileSec 
 // MaxIterations caps runaway loops (misconfigured conditions).
 const MaxIterations = 100000
 
+// ErrMaxIterations reports a loop whose condition never turned false before
+// the iteration cap. Returned errors wrap it and carry the cap:
+//
+//	errors.Is(err, engine.ErrMaxIterations)
+//	var me *engine.MaxIterationsError // me.Iterations is the cap hit
+var ErrMaxIterations = errors.New("engine: loop exceeded max iterations")
+
+// MaxIterationsError is the concrete error wrapping ErrMaxIterations; it
+// carries the iteration cap that was exceeded.
+type MaxIterationsError struct{ Iterations int }
+
+func (e *MaxIterationsError) Error() string {
+	return fmt.Sprintf("engine: loop exceeded %d iterations", e.Iterations)
+}
+
+func (e *MaxIterationsError) Unwrap() error { return ErrMaxIterations }
+
+// RunOptions configures the run-time (as opposed to compile-time) behavior
+// of an execution: fault injection and the recovery policy. The zero value
+// reproduces a perfect cluster — no faults, no checkpointing — with zero
+// accounting overhead.
+type RunOptions struct {
+	// Faults schedules deterministic worker failures, transmission errors
+	// and stragglers against the simulated clock. Nil disables injection.
+	Faults *fault.Plan
+	// Checkpoint persists LSE-hoisted intermediates to DFS (one DFS write
+	// each) so worker failures recover them at DFS-read cost instead of
+	// re-running their producing lineage.
+	Checkpoint bool
+	// MaxIter overrides MaxIterations when positive.
+	MaxIter int
+}
+
 // Run executes a compiled program over the given inputs on a fresh
 // simulated cluster.
 func Run(c *opt.Compiled, inputs map[string]Input) (*Result, error) {
@@ -63,16 +98,28 @@ func Run(c *opt.Compiled, inputs map[string]Input) (*Result, error) {
 // emits a span, and statement/iteration boundaries enclose them as group
 // spans. A nil recorder disables tracing (Run's behavior).
 func RunTraced(c *opt.Compiled, inputs map[string]Input, rec *trace.Recorder) (*Result, error) {
+	return RunWithOptions(c, inputs, rec, RunOptions{})
+}
+
+// RunWithOptions is RunTraced with fault injection and recovery policy
+// attached. Injected faults only ever affect cost accounting — kernels
+// execute for real, so the result matrices are numerically identical to a
+// fault-free run.
+func RunWithOptions(c *opt.Compiled, inputs map[string]Input, rec *trace.Recorder, opts RunOptions) (*Result, error) {
 	cl := cluster.New(c.Config.Cluster)
 	ctx := distmat.NewContext(cl)
 	ctx.Recorder = rec
+	if opts.Faults.Enabled() {
+		ctx.EnableFaults(opts.Faults)
+	}
 	e := &executor{
-		c:        c,
-		ctx:      ctx,
-		rec:      rec,
-		env:      map[string]*distmat.DistMatrix{},
-		inputs:   inputs,
-		lseCache: map[string]*distmat.DistMatrix{},
+		c:          c,
+		ctx:        ctx,
+		rec:        rec,
+		env:        map[string]*distmat.DistMatrix{},
+		inputs:     inputs,
+		lseCache:   map[string]*distmat.DistMatrix{},
+		checkpoint: opts.Checkpoint,
 	}
 	if err := e.prepare(); err != nil {
 		return nil, err
@@ -85,9 +132,13 @@ func RunTraced(c *opt.Compiled, inputs map[string]Input, rec *trace.Recorder) (*
 		}
 	}
 
+	maxIter := MaxIterations
+	if opts.MaxIter > 0 {
+		maxIter = opts.MaxIter
+	}
 	iterations := 0
 	if c.Plans.Loop != nil {
-		for iterations < MaxIterations {
+		for iterations < maxIter {
 			ok, err := e.cond(c.Plans.Loop.Cond)
 			if err != nil {
 				return nil, err
@@ -103,8 +154,8 @@ func RunTraced(c *opt.Compiled, inputs map[string]Input, rec *trace.Recorder) (*
 			}
 			iterations++
 		}
-		if iterations >= MaxIterations {
-			return nil, fmt.Errorf("engine: loop exceeded %d iterations", MaxIterations)
+		if iterations >= maxIter {
+			return nil, &MaxIterationsError{Iterations: maxIter}
 		}
 	}
 	for _, sp := range c.Plans.Post {
@@ -145,6 +196,10 @@ type executor struct {
 	cseCache     map[string]*distmat.DistMatrix
 	subtreeCache map[string]cachedSubtree
 	transCache   map[*distmat.DistMatrix]*distmat.DistMatrix
+
+	// checkpoint persists LSE values to DFS on first computation
+	// (RunOptions.Checkpoint).
+	checkpoint bool
 }
 
 // cachedSubtree is an explicit-CSE cache entry: the value plus the
@@ -628,6 +683,11 @@ func (e *executor) optionValue(o *search.Option) (*distmat.DistMatrix, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if o.Kind == search.LSE && e.checkpoint {
+		// Loop-hoisted values live for the whole run: paying one DFS write
+		// here converts every later failure's recompute into a DFS read.
+		v.Checkpoint()
 	}
 	cache[o.Key] = v
 	return v, nil

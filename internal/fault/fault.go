@@ -1,0 +1,255 @@
+// Package fault implements the deterministic fault model of the simulated
+// cluster: worker failures, transient transmission errors and straggler
+// slowdowns scheduled against the simulated clock.
+//
+// A Plan describes *when* faults occur — either as seeded Poisson streams
+// (one per fault kind, with exponential inter-arrival times) or as an
+// explicit event list. An Injector replays a plan against an advancing
+// clock: the cluster advances it across every charge's time window and
+// receives the events that fired inside it. Everything is derived from the
+// plan's seed, so two runs of the same program with the same plan observe
+// the same fault sequence, charge the same recovery costs, and produce
+// byte-identical Stats — the determinism guarantee DESIGN.md documents.
+//
+// The plan only schedules faults; their *consequences* are accounted
+// elsewhere: internal/cluster charges retries, backoff and retransmission,
+// and internal/distmat charges lineage recomputation (or checkpoint
+// re-reads) for blocks lost to worker failures. Kernels always execute
+// exactly once for real, so injected faults never change numerical results.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Kind enumerates the fault kinds the model schedules.
+type Kind int
+
+const (
+	// WorkerFailure loses one worker and the partitions it held; lost
+	// blocks are lazily recomputed from lineage (or re-read from a
+	// checkpoint) when next used.
+	WorkerFailure Kind = iota
+	// TransmissionError is a transient network fault during an operator's
+	// transmission; the task retries after an exponential backoff and
+	// re-transmits its data.
+	TransmissionError
+	// Straggler slows the operator executing when it fires: the stage waits
+	// on its slowest task, so the operator's time stretches by the
+	// straggler factor.
+	Straggler
+	numKinds
+)
+
+// String names the fault kind as it appears in trace span labels.
+func (k Kind) String() string {
+	switch k {
+	case WorkerFailure:
+		return "worker-failure"
+	case TransmissionError:
+		return "transmission-error"
+	case Straggler:
+		return "straggler"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled fault on the simulated timeline.
+type Event struct {
+	// At is the simulated clock second the fault fires.
+	At float64
+	// Kind selects the fault.
+	Kind Kind
+	// Worker is the failing worker's index (WorkerFailure only).
+	Worker int
+	// Factor is the slowdown multiplier (> 1, Straggler only).
+	Factor float64
+}
+
+// DefaultStragglerFactor stretches a straggled operator to 2x its time,
+// the common "slowest task takes about twice the median" observation.
+const DefaultStragglerFactor = 2.0
+
+// DefaultBackoffBaseSec is the first retry delay; the k-th consecutive
+// retry of one operator waits base·2^(k-1) seconds.
+const DefaultBackoffBaseSec = 1.0
+
+// Config parameterizes a rate-based plan. Rates are Poisson intensities in
+// events per simulated hour; a zero rate disables that fault kind.
+type Config struct {
+	// Seed drives every random draw of the plan. Plans with equal Seed and
+	// rates schedule identical event sequences.
+	Seed int64
+	// WorkerFailuresPerHour schedules whole-worker losses.
+	WorkerFailuresPerHour float64
+	// TransmitErrorsPerHour schedules transient transmission errors.
+	TransmitErrorsPerHour float64
+	// StragglersPerHour schedules straggler slowdowns.
+	StragglersPerHour float64
+	// StragglerFactor is the slowdown multiplier (default
+	// DefaultStragglerFactor).
+	StragglerFactor float64
+	// BackoffBaseSec is the first retry delay (default
+	// DefaultBackoffBaseSec).
+	BackoffBaseSec float64
+	// Workers bounds the failed-worker index draw (default 1).
+	Workers int
+}
+
+// Plan is an immutable fault schedule: rate streams or an explicit event
+// list. A nil plan means a perfect cluster.
+type Plan struct {
+	cfg    Config
+	events []Event // explicit schedule; nil for rate-based plans
+}
+
+// NewPlan builds a rate-based plan. It returns nil when every rate is zero,
+// so callers can treat "no faults configured" and "no plan" uniformly.
+func NewPlan(cfg Config) *Plan {
+	if cfg.WorkerFailuresPerHour <= 0 && cfg.TransmitErrorsPerHour <= 0 && cfg.StragglersPerHour <= 0 {
+		return nil
+	}
+	if cfg.StragglerFactor <= 1 {
+		cfg.StragglerFactor = DefaultStragglerFactor
+	}
+	if cfg.BackoffBaseSec <= 0 {
+		cfg.BackoffBaseSec = DefaultBackoffBaseSec
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	return &Plan{cfg: cfg}
+}
+
+// FromEvents builds a plan from an explicit event list (tests and targeted
+// what-if runs). Events are replayed in At order; the zero Factor defaults
+// to DefaultStragglerFactor.
+func FromEvents(events ...Event) *Plan {
+	if len(events) == 0 {
+		return nil
+	}
+	evs := append([]Event(nil), events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	for i := range evs {
+		if evs[i].Kind == Straggler && evs[i].Factor <= 1 {
+			evs[i].Factor = DefaultStragglerFactor
+		}
+	}
+	return &Plan{cfg: Config{BackoffBaseSec: DefaultBackoffBaseSec}, events: evs}
+}
+
+// Enabled reports whether the plan schedules any faults. Nil-safe.
+func (p *Plan) Enabled() bool { return p != nil }
+
+// BackoffBase returns the first-retry delay in seconds. Nil-safe.
+func (p *Plan) BackoffBase() float64 {
+	if p == nil || p.cfg.BackoffBaseSec <= 0 {
+		return DefaultBackoffBaseSec
+	}
+	return p.cfg.BackoffBaseSec
+}
+
+// NewInjector returns a fresh replay cursor over the plan. Nil-safe: a nil
+// plan yields a nil injector, and a nil injector never fires.
+func (p *Plan) NewInjector() *Injector {
+	if p == nil {
+		return nil
+	}
+	inj := &Injector{}
+	if p.events != nil {
+		inj.explicit = p.events
+		return inj
+	}
+	add := func(kind Kind, perHour float64) {
+		if perHour <= 0 {
+			return
+		}
+		// Each kind owns an independent RNG stream so one kind's draw count
+		// never perturbs another's schedule.
+		s := &stream{
+			kind: kind,
+			rate: perHour / 3600,
+			rng:  rand.New(rand.NewSource(p.cfg.Seed ^ int64(kind+1)*0x517CC1B727220A95)),
+			cfg:  p.cfg,
+		}
+		s.draw(0)
+		inj.streams = append(inj.streams, s)
+	}
+	add(WorkerFailure, p.cfg.WorkerFailuresPerHour)
+	add(TransmissionError, p.cfg.TransmitErrorsPerHour)
+	add(Straggler, p.cfg.StragglersPerHour)
+	return inj
+}
+
+// stream lazily generates one kind's Poisson arrivals.
+type stream struct {
+	kind Kind
+	rate float64 // events per simulated second
+	rng  *rand.Rand
+	cfg  Config
+	next Event
+}
+
+// draw schedules the stream's next event strictly after t.
+func (s *stream) draw(t float64) {
+	gap := s.rng.ExpFloat64() / s.rate
+	if gap <= 0 || math.IsInf(gap, 0) {
+		gap = 1 / s.rate
+	}
+	ev := Event{At: t + gap, Kind: s.kind}
+	switch s.kind {
+	case WorkerFailure:
+		ev.Worker = s.rng.Intn(s.cfg.Workers)
+	case Straggler:
+		ev.Factor = s.cfg.StragglerFactor
+	}
+	s.next = ev
+}
+
+// Injector replays a plan's events against an advancing simulated clock.
+// It is a single-run cursor: the cluster owns it and serializes access
+// under its own lock.
+type Injector struct {
+	streams  []*stream
+	explicit []Event
+	cursor   int
+}
+
+// Advance returns the events firing in the window (from, to], in time
+// order, and moves the cursor past them. Nil-safe.
+func (i *Injector) Advance(from, to float64) []Event {
+	if i == nil || to <= from {
+		return nil
+	}
+	if i.explicit != nil {
+		lo := i.cursor
+		for i.cursor < len(i.explicit) && i.explicit[i.cursor].At <= to {
+			i.cursor++
+		}
+		if lo == i.cursor {
+			return nil
+		}
+		return i.explicit[lo:i.cursor:i.cursor]
+	}
+	var out []Event
+	for {
+		var best *stream
+		for _, s := range i.streams {
+			if s.next.At <= to && (best == nil || s.next.At < best.next.At) {
+				best = s
+			}
+		}
+		if best == nil {
+			if out != nil {
+				sort.SliceStable(out, func(a, b int) bool { return out[a].At < out[b].At })
+			}
+			return out
+		}
+		out = append(out, best.next)
+		best.draw(best.next.At)
+	}
+}

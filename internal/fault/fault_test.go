@@ -1,0 +1,144 @@
+package fault
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestNewPlanDisabledWhenNoRates(t *testing.T) {
+	if p := NewPlan(Config{Seed: 3}); p != nil {
+		t.Fatal("zero-rate plan must be nil")
+	}
+	var p *Plan
+	if p.Enabled() {
+		t.Fatal("nil plan reports enabled")
+	}
+	if p.NewInjector() != nil {
+		t.Fatal("nil plan must yield nil injector")
+	}
+	if got := p.NewInjector().Advance(0, 1e9); got != nil {
+		t.Fatalf("nil injector fired %v", got)
+	}
+}
+
+func TestRateStreamsDeterministic(t *testing.T) {
+	cfg := Config{
+		Seed:                  42,
+		WorkerFailuresPerHour: 60,
+		TransmitErrorsPerHour: 120,
+		StragglersPerHour:     30,
+		Workers:               6,
+	}
+	replay := func() []Event {
+		inj := NewPlan(cfg).NewInjector()
+		var all []Event
+		// Advance in irregular windows; the schedule must not depend on how
+		// the clock is sliced.
+		for _, to := range []float64{13, 13.5, 400, 401, 3600, 7200} {
+			all = append(all, inj.Advance(last(all), to)...)
+		}
+		return all
+	}
+	a, b := replay(), replay()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(a) == 0 {
+		t.Fatal("no events over two simulated hours at these rates")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatalf("events out of order: %v after %v", a[i], a[i-1])
+		}
+	}
+	// A different seed must produce a different schedule.
+	cfg2 := cfg
+	cfg2.Seed = 43
+	inj := NewPlan(cfg2).NewInjector()
+	if c := inj.Advance(0, 7200); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func last(evs []Event) float64 {
+	if len(evs) == 0 {
+		return 0
+	}
+	return evs[len(evs)-1].At
+}
+
+func TestRatesApproximatePoissonIntensity(t *testing.T) {
+	cfg := Config{Seed: 7, WorkerFailuresPerHour: 120, Workers: 6}
+	inj := NewPlan(cfg).NewInjector()
+	const hours = 50.0
+	evs := inj.Advance(0, hours*3600)
+	got := float64(len(evs)) / hours
+	if math.Abs(got-120)/120 > 0.2 {
+		t.Fatalf("observed rate %.1f/h, want ~120/h", got)
+	}
+	for _, ev := range evs {
+		if ev.Kind != WorkerFailure {
+			t.Fatalf("unexpected kind %v", ev.Kind)
+		}
+		if ev.Worker < 0 || ev.Worker >= 6 {
+			t.Fatalf("worker index %d out of range", ev.Worker)
+		}
+	}
+}
+
+func TestExplicitEventsReplayInOrder(t *testing.T) {
+	p := FromEvents(
+		Event{At: 30, Kind: Straggler},
+		Event{At: 10, Kind: WorkerFailure, Worker: 2},
+		Event{At: 20, Kind: TransmissionError},
+	)
+	inj := p.NewInjector()
+	if evs := inj.Advance(0, 5); len(evs) != 0 {
+		t.Fatalf("premature events %v", evs)
+	}
+	evs := inj.Advance(5, 25)
+	if len(evs) != 2 || evs[0].Kind != WorkerFailure || evs[1].Kind != TransmissionError {
+		t.Fatalf("window (5,25] = %v", evs)
+	}
+	evs = inj.Advance(25, 1000)
+	if len(evs) != 1 || evs[0].Kind != Straggler {
+		t.Fatalf("window (25,1000] = %v", evs)
+	}
+	if evs[0].Factor != DefaultStragglerFactor {
+		t.Fatalf("straggler factor defaulted to %g", evs[0].Factor)
+	}
+	if evs := inj.Advance(1000, 1e12); len(evs) != 0 {
+		t.Fatalf("exhausted plan fired %v", evs)
+	}
+}
+
+func TestFromEventsEmpty(t *testing.T) {
+	if FromEvents() != nil {
+		t.Fatal("empty event list must yield nil plan")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		WorkerFailure:     "worker-failure",
+		TransmissionError: "transmission-error",
+		Straggler:         "straggler",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestBackoffBaseDefaults(t *testing.T) {
+	var p *Plan
+	if p.BackoffBase() != DefaultBackoffBaseSec {
+		t.Fatal("nil plan backoff default wrong")
+	}
+	q := NewPlan(Config{StragglersPerHour: 1, BackoffBaseSec: 2.5})
+	if q.BackoffBase() != 2.5 {
+		t.Fatal("configured backoff not honored")
+	}
+}

@@ -1,6 +1,9 @@
 package sparsity
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // MNC is a structure-exploiting estimator in the spirit of Sommer et al.'s
 // matrix-nonzero-count sketches (the paper's footnote selects the MNC
@@ -131,9 +134,17 @@ func bucketCounts(counts []int) []bucket {
 			byKey[key] = &bucket{value: float64(c), n: 1}
 		}
 	}
+	// Emit in key order: map iteration order would otherwise vary the
+	// float-summation order downstream, producing run-to-run ULP drift in
+	// the estimates (the fault tests require byte-identical replays).
+	keys := make([]int, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
 	out := make([]bucket, 0, len(byKey))
-	for _, b := range byKey {
-		out = append(out, *b)
+	for _, k := range keys {
+		out = append(out, *byKey[k])
 	}
 	return out
 }

@@ -51,6 +51,10 @@ type Span struct {
 	Label string `json:"label"`
 	// Group marks boundary spans, which carry no cost of their own.
 	Group bool `json:"group,omitempty"`
+	// Fault marks retry/recovery spans injected by the fault model. They
+	// carry RecoverySec (and possibly retransmitted Bytes) but are not
+	// operator executions, so Summary counts them separately from Ops.
+	Fault bool `json:"fault,omitempty"`
 	// Run labels the run the span belongs to (set by the recorder, e.g. the
 	// bench configuration).
 	Run string `json:"run,omitempty"`
@@ -66,6 +70,9 @@ type Span struct {
 	FLOP        float64 `json:"flop"`
 	ComputeSec  float64 `json:"compute_sec"`
 	TransmitSec float64 `json:"transmit_sec"`
+	// RecoverySec is the simulated time a fault span spent in backoff,
+	// retransmission, straggling or recomputation (fault spans only).
+	RecoverySec float64 `json:"recovery_sec,omitempty"`
 	// Bytes maps primitive name → simulated volume; only charged primitives
 	// appear.
 	Bytes map[string]float64 `json:"bytes,omitempty"`
@@ -74,8 +81,8 @@ type Span struct {
 	WallNS int64 `json:"wall_ns"`
 }
 
-// TotalSec returns the span's simulated seconds.
-func (s Span) TotalSec() float64 { return s.ComputeSec + s.TransmitSec }
+// TotalSec returns the span's simulated seconds, recovery included.
+func (s Span) TotalSec() float64 { return s.ComputeSec + s.TransmitSec + s.RecoverySec }
 
 // Op builds an operator span from a cost breakdown. The caller supplies the
 // real kernel wall time; in/out may be nil for operators without matrix
@@ -100,6 +107,30 @@ func Op(kind, label string, bd cost.Breakdown, in []sparsity.Meta, out *sparsity
 	}
 	for _, p := range cluster.Primitives {
 		if b := bd.Bytes[p]; b != 0 {
+			if s.Bytes == nil {
+				s.Bytes = map[string]float64{}
+			}
+			s.Bytes[p.String()] = b
+		}
+	}
+	return s
+}
+
+// FaultOp builds a retry/recovery span. kind is the span family ("fault"
+// for injected events, "recovery" for lineage/checkpoint repairs), label
+// refines it with the fault kind or recovery policy. flop is the recompute
+// FLOP (zero for retries), bytes the retransmitted or re-read volume
+// indexed by cluster.Primitive.
+func FaultOp(kind, label string, recoverySec, flop float64, bytes [4]float64) Span {
+	s := Span{
+		Kind:        kind,
+		Label:       label,
+		Fault:       true,
+		RecoverySec: recoverySec,
+		FLOP:        flop,
+	}
+	for _, p := range cluster.Primitives {
+		if b := bytes[p]; b != 0 {
 			if s.Bytes == nil {
 				s.Bytes = map[string]float64{}
 			}
@@ -215,29 +246,41 @@ type KindStat struct {
 	FLOP        float64
 	ComputeSec  float64
 	TransmitSec float64
+	// RecoverySec sums the fault/recovery time booked under this kind.
+	RecoverySec float64
 	Bytes       map[string]float64
 }
 
-// TotalSec returns the kind's simulated seconds.
-func (k KindStat) TotalSec() float64 { return k.ComputeSec + k.TransmitSec }
+// TotalSec returns the kind's simulated seconds, recovery included.
+func (k KindStat) TotalSec() float64 { return k.ComputeSec + k.TransmitSec + k.RecoverySec }
 
 // Summary is the aggregate view of a recording over operator (non-group)
 // spans. Its totals satisfy the stats-equals-spans invariant against
-// cluster.Stats.
+// cluster.Stats: Ops, FLOP, seconds and bytes cover operator spans, while
+// fault spans contribute only Faults, RecoverySec, RecomputeFLOP and their
+// retransmitted Bytes — mirroring how the cluster books them.
 type Summary struct {
 	Ops         int
 	FLOP        float64
 	ComputeSec  float64
 	TransmitSec float64
-	// Bytes accumulates per-primitive volumes across all operator spans.
+	// Faults counts fault/recovery spans (not included in Ops).
+	Faults int
+	// RecoverySec sums fault-span recovery seconds (matches
+	// Stats.RecoverySec).
+	RecoverySec float64
+	// RecomputeFLOP sums fault-span FLOP (matches Stats.RecomputeFLOP).
+	RecomputeFLOP float64
+	// Bytes accumulates per-primitive volumes across all operator and fault
+	// spans.
 	Bytes map[string]float64
 	// ByKind aggregates per operator kind, sorted by descending simulated
 	// seconds.
 	ByKind []KindStat
 }
 
-// TotalSec returns the summed simulated seconds.
-func (s Summary) TotalSec() float64 { return s.ComputeSec + s.TransmitSec }
+// TotalSec returns the summed simulated seconds, recovery included.
+func (s Summary) TotalSec() float64 { return s.ComputeSec + s.TransmitSec + s.RecoverySec }
 
 // Summary aggregates the recording.
 func (r *Recorder) Summary() Summary {
@@ -247,23 +290,31 @@ func (r *Recorder) Summary() Summary {
 		if s.Group {
 			continue
 		}
-		sum.Ops++
-		sum.FLOP += s.FLOP
-		sum.ComputeSec += s.ComputeSec
-		sum.TransmitSec += s.TransmitSec
 		k := byKind[s.Kind]
 		if k == nil {
 			k = &KindStat{Kind: s.Kind, Bytes: map[string]float64{}}
 			byKind[s.Kind] = k
 		}
-		k.Ops++
-		k.FLOP += s.FLOP
-		k.ComputeSec += s.ComputeSec
-		k.TransmitSec += s.TransmitSec
 		for p, b := range s.Bytes {
 			sum.Bytes[p] += b
 			k.Bytes[p] += b
 		}
+		if s.Fault {
+			sum.Faults++
+			sum.RecoverySec += s.RecoverySec
+			sum.RecomputeFLOP += s.FLOP
+			k.Ops++
+			k.RecoverySec += s.RecoverySec
+			continue
+		}
+		sum.Ops++
+		sum.FLOP += s.FLOP
+		sum.ComputeSec += s.ComputeSec
+		sum.TransmitSec += s.TransmitSec
+		k.Ops++
+		k.FLOP += s.FLOP
+		k.ComputeSec += s.ComputeSec
+		k.TransmitSec += s.TransmitSec
 	}
 	for _, k := range byKind {
 		sum.ByKind = append(sum.ByKind, *k)
@@ -300,16 +351,18 @@ type GroupCost struct {
 	Label string
 	// Executions counts the group spans (e.g. times the statement ran).
 	Executions int
-	// Ops counts the enclosed operator spans.
+	// Ops counts the enclosed operator spans (fault spans excluded).
 	Ops         int
 	FLOP        float64
 	ComputeSec  float64
 	TransmitSec float64
+	// RecoverySec sums enclosed fault-span recovery time.
+	RecoverySec float64
 	WallNS      int64
 }
 
-// TotalSec returns the group's simulated seconds.
-func (g GroupCost) TotalSec() float64 { return g.ComputeSec + g.TransmitSec }
+// TotalSec returns the group's simulated seconds, recovery included.
+func (g GroupCost) TotalSec() float64 { return g.ComputeSec + g.TransmitSec + g.RecoverySec }
 
 // GroupCosts aggregates operator spans by the label of their nearest
 // enclosing group span of the given kind (e.g. "stmt" for the per-statement
@@ -355,6 +408,10 @@ func (r *Recorder) GroupCosts(kind string) []GroupCost {
 			continue
 		}
 		g := get(enclosing(s))
+		if s.Fault {
+			g.RecoverySec += s.RecoverySec
+			continue
+		}
 		g.Ops++
 		g.FLOP += s.FLOP
 		g.ComputeSec += s.ComputeSec

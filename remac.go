@@ -9,6 +9,7 @@ import (
 	"remac/internal/cluster"
 	"remac/internal/costgraph"
 	"remac/internal/engine"
+	"remac/internal/fault"
 	"remac/internal/lang"
 	"remac/internal/opt"
 	"remac/internal/sparsity"
@@ -92,26 +93,36 @@ func SingleNodeCluster() ClusterConfig {
 }
 
 func (c ClusterConfig) internal() cluster.Config {
+	// Zero fields default; nonzero fields — including invalid negative ones —
+	// pass through so Validate can reject them instead of silently reverting
+	// to defaults.
 	base := cluster.DefaultConfig()
-	if c.Nodes > 0 {
+	if c.Nodes != 0 {
 		base.Nodes = c.Nodes
 	}
-	if c.CoresPerNode > 0 {
+	if c.CoresPerNode != 0 {
 		base.CoresPerNode = c.CoresPerNode
 	}
-	if c.NetBandwidthMBps > 0 {
+	if c.NetBandwidthMBps != 0 {
 		base.NetBandwidth = c.NetBandwidthMBps * 1e6
 	}
-	if c.DriverMemoryGB > 0 {
+	if c.DriverMemoryGB != 0 {
 		base.DriverMemory = int64(c.DriverMemoryGB * float64(1<<30))
 	}
-	if c.BlockSize > 0 {
+	if c.BlockSize != 0 {
 		base.BlockSize = c.BlockSize
 	}
 	if c.Nodes == 1 {
 		base.DriverMemory = 256 << 30
 	}
 	return base
+}
+
+// Validate reports whether the configuration describes a runnable cluster
+// (positive node/core counts, bandwidth, memory and block size).
+func (c ClusterConfig) Validate() error {
+	_, err := cluster.NewChecked(c.internal())
+	return err
 }
 
 // Config parameterizes compilation.
@@ -159,6 +170,9 @@ func Compile(script string, inputs map[string]Input, cfg Config) (*Program, erro
 			return nil, fmt.Errorf("remac: input %q has nil data", name)
 		}
 		metas[name] = sparsity.Virtualize(sparsity.MetaOf(in.Data.m), in.VirtualRows, in.VirtualCols)
+	}
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, err
 	}
 	icfg := opt.Config{
 		Strategy:   strategyInternal(cfg.Strategy),
@@ -289,6 +303,57 @@ func (p *Program) Explain() string {
 	return b.String()
 }
 
+// FaultConfig schedules deterministic fault injection against the simulated
+// clock: the same seed and rates always reproduce the same fault sequence,
+// and injected faults only ever affect cost accounting — result matrices are
+// numerically identical to a fault-free run. All rates are events per
+// simulated hour of cluster work; zero rates everywhere disable injection.
+type FaultConfig struct {
+	// Seed selects the fault schedule (per-kind streams are independent).
+	Seed int64
+	// WorkerFailuresPerHour loses one worker's partitions per event; lost
+	// blocks are lazily recomputed from lineage (or re-read, if
+	// checkpointed) when next used.
+	WorkerFailuresPerHour float64
+	// TransmitErrorsPerHour fails one in-flight task of the running
+	// operator, retried after a capped exponential backoff with
+	// retransmission of that task's share.
+	TransmitErrorsPerHour float64
+	// StragglersPerHour stretches the running operator by StragglerFactor.
+	StragglersPerHour float64
+	// StragglerFactor defaults to 2.
+	StragglerFactor float64
+	// BackoffBaseSec is the first-retry backoff delay. Default 1s.
+	BackoffBaseSec float64
+}
+
+// RunOptions configures the run-time behavior of an execution. The zero
+// value reproduces Run: a perfect cluster with no checkpointing.
+type RunOptions struct {
+	// Faults enables deterministic fault injection when non-nil.
+	Faults *FaultConfig
+	// Checkpoint persists loop-hoisted (LSE) intermediates to DFS once so
+	// worker failures recover them at DFS-read cost instead of recompute.
+	Checkpoint bool
+	// MaxIterations overrides the engine's runaway-loop cap when positive.
+	MaxIterations int
+}
+
+func (f *FaultConfig) internal(workers int) *fault.Plan {
+	if f == nil {
+		return nil
+	}
+	return fault.NewPlan(fault.Config{
+		Seed:                  f.Seed,
+		WorkerFailuresPerHour: f.WorkerFailuresPerHour,
+		TransmitErrorsPerHour: f.TransmitErrorsPerHour,
+		StragglersPerHour:     f.StragglersPerHour,
+		StragglerFactor:       f.StragglerFactor,
+		BackoffBaseSec:        f.BackoffBaseSec,
+		Workers:               workers,
+	})
+}
+
 // Report is the outcome of a run.
 type Report struct {
 	// Values holds the final variable bindings.
@@ -310,31 +375,61 @@ type Report struct {
 	// WorkerShares is each worker's fraction of the partitioned input data
 	// (the Fig 13 measurement).
 	WorkerShares []float64
+
+	// Fault-injection accounting (all zero unless RunWithOptions attached a
+	// FaultConfig).
+	//
+	// Retries counts transmission-error retry attempts.
+	Retries int
+	// RecoverySeconds is the simulated time spent on backoff,
+	// retransmission, straggling and recomputation; it is included in
+	// SimulatedSeconds.
+	RecoverySeconds float64
+	// RecomputeFLOP is the work re-executed to rebuild lost blocks.
+	RecomputeFLOP float64
+	// FailedWorkers counts injected worker-failure events.
+	FailedWorkers int
 }
 
 // Run executes the compiled program on a fresh simulated cluster.
 func (p *Program) Run() (*Report, error) {
-	return p.run(nil)
+	return p.run(nil, RunOptions{})
+}
+
+// RunWithOptions executes the program like Run, with fault injection and
+// recovery policy attached.
+func (p *Program) RunWithOptions(opts RunOptions) (*Report, error) {
+	return p.run(nil, opts)
 }
 
 // RunTraced executes the program like Run and additionally collects a
 // structured trace: one span per charged operator, grouped under
 // statement and iteration boundary spans.
 func (p *Program) RunTraced() (*Report, *RunTrace, error) {
+	return p.RunTracedWithOptions(RunOptions{})
+}
+
+// RunTracedWithOptions is RunTraced with fault injection and recovery
+// policy attached; retries and recoveries appear as fault spans.
+func (p *Program) RunTracedWithOptions(opts RunOptions) (*Report, *RunTrace, error) {
 	rec := trace.New()
-	rep, err := p.run(rec)
+	rep, err := p.run(rec, opts)
 	if err != nil {
 		return nil, nil, err
 	}
 	return rep, &RunTrace{rec: rec}, nil
 }
 
-func (p *Program) run(rec *trace.Recorder) (*Report, error) {
+func (p *Program) run(rec *trace.Recorder, opts RunOptions) (*Report, error) {
 	ins := map[string]engine.Input{}
 	for name, in := range p.inputs {
 		ins[name] = engine.Input{Data: in.Data.m, VRows: in.VirtualRows, VCols: in.VirtualCols}
 	}
-	res, err := engine.RunTraced(p.compiled, ins, rec)
+	res, err := engine.RunWithOptions(p.compiled, ins, rec, engine.RunOptions{
+		Faults:     opts.Faults.internal(p.compiled.Config.Cluster.Workers()),
+		Checkpoint: opts.Checkpoint,
+		MaxIter:    opts.MaxIterations,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -347,6 +442,10 @@ func (p *Program) run(rec *trace.Recorder) (*Report, error) {
 		InputPartitionSeconds: res.InputPartitionSec,
 		CompileSeconds:        res.CompileSec,
 		BytesByPrimitive:      map[string]float64{},
+		Retries:               res.Stats.Retries,
+		RecoverySeconds:       res.Stats.RecoverySec,
+		RecomputeFLOP:         res.Stats.RecomputeFLOP,
+		FailedWorkers:         res.Stats.FailedWorkers,
 	}
 	for name, v := range res.Env {
 		rep.Values[name] = wrap(v.Data())
