@@ -9,6 +9,8 @@
 //	                                # fig12, fig13, options, opstats, faults)
 //	remac-bench -trace out.json     # also dump every run's operator spans
 //	                                # as JSON lines
+//	remac-bench -json out.json      # also write the selected tables as a
+//	                                # machine-readable JSON array
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 func main() {
 	experiment := flag.String("experiment", "", "experiment ID to run (default: all)")
 	traceFile := flag.String("trace", "", "write every run's operator spans to this file as JSON lines")
+	jsonFile := flag.String("json", "", "write the selected tables to this file as JSON")
 	faultSeed := flag.Int64("fault-seed", bench.FaultSeed, "fault schedule seed of the faults experiment")
 	flag.Parse()
 
@@ -46,6 +49,7 @@ func main() {
 		}
 		ids = []string{*experiment}
 	}
+	var tables []*bench.Table
 	for _, id := range ids {
 		start := time.Now()
 		table, err := bench.Experiments[id]()
@@ -53,7 +57,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
 		}
+		tables = append(tables, table)
 		fmt.Print(table.String())
 		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonFile != "" {
+		f, err := os.Create(*jsonFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := bench.WriteJSON(f, tables); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,0 +1,302 @@
+// remac-serve exposes the concurrent query-serving subsystem
+// (internal/serve) over HTTP: a thin stdlib JSON front-end for submitting
+// DML workloads against the generated datasets and reading aggregate
+// server metrics.
+//
+// Usage:
+//
+//	remac-serve                          # listen on :8356
+//	remac-serve -addr :9000 -workers 8   # custom bind and pool size
+//
+// Endpoints:
+//
+//	POST /query   {"algorithm":"DFP","dataset":"cri2","iterations":5}
+//	              or {"script":"...","dataset":"cri1"} — custom scripts see
+//	              the dataset's standard symbols (A, b, H0, x0).
+//	              Optional: "strategy" ("adaptive", "none", "explicit",
+//	              "conservative", "aggressive", "automatic"),
+//	              "timeout_ms", "no_plan_cache", "no_intermediate_cache".
+//	GET  /stats   aggregate metrics snapshot (QPS, latency percentiles,
+//	              cache hit rates, queue depth) as JSON.
+//	POST /invalidate?dataset=cri2  bump a dataset version, dropping its
+//	              cached intermediates.
+//
+// SIGINT/SIGTERM stop admission, drain in-flight queries, then exit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"remac/internal/algorithms"
+	"remac/internal/data"
+	"remac/internal/engine"
+	"remac/internal/opt"
+	"remac/internal/serve"
+)
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	Algorithm  string `json:"algorithm,omitempty"`
+	Script     string `json:"script,omitempty"`
+	Dataset    string `json:"dataset"`
+	Iterations int    `json:"iterations,omitempty"`
+	Strategy   string `json:"strategy,omitempty"`
+	TimeoutMS  int    `json:"timeout_ms,omitempty"`
+
+	NoPlanCache         bool `json:"no_plan_cache,omitempty"`
+	NoIntermediateCache bool `json:"no_intermediate_cache,omitempty"`
+}
+
+// valueSummary reports a result variable without shipping its cells.
+type valueSummary struct {
+	Rows      int     `json:"rows"`
+	Cols      int     `json:"cols"`
+	Frobenius float64 `json:"frobenius_norm"`
+}
+
+// queryResponse is the POST /query reply.
+type queryResponse struct {
+	Values           map[string]valueSummary `json:"values"`
+	Iterations       int                     `json:"iterations"`
+	SimulatedSec     float64                 `json:"simulated_sec"`
+	ComputeSec       float64                 `json:"compute_sec"`
+	TransmitSec      float64                 `json:"transmit_sec"`
+	CompileSec       float64                 `json:"compile_sec"`
+	WallSec          float64                 `json:"wall_sec"`
+	PlanCacheHit     bool                    `json:"plan_cache_hit"`
+	IntermediateHits int                     `json:"intermediate_hits"`
+	IntermediateMiss int                     `json:"intermediate_misses"`
+	SelectedKeys     []string                `json:"selected_keys,omitempty"`
+}
+
+func parseStrategy(s string) (opt.Strategy, error) {
+	switch s {
+	case "", "adaptive":
+		return opt.Adaptive, nil
+	case "none", "no-elimination":
+		return opt.NoElimination, nil
+	case "explicit":
+		return opt.Explicit, nil
+	case "conservative":
+		return opt.Conservative, nil
+	case "aggressive":
+		return opt.Aggressive, nil
+	case "automatic":
+		return opt.Automatic, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}
+
+// handler adapts the in-process serve API to HTTP. Dataset inputs are
+// generated once and shared read-only across queries.
+type handler struct {
+	srv *serve.Server
+
+	mu   sync.Mutex
+	data map[string]*data.Dataset
+}
+
+func (h *handler) dataset(name string) (*data.Dataset, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if d, ok := h.data[name]; ok {
+		return d, nil
+	}
+	d, err := data.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	h.data[name] = d
+	return d, nil
+}
+
+// buildQuery resolves a request into a serve.Query with the dataset's
+// inputs bound.
+func (h *handler) buildQuery(req queryRequest) (serve.Query, error) {
+	var q serve.Query
+	if (req.Algorithm == "") == (req.Script == "") {
+		return q, errors.New("exactly one of algorithm or script is required")
+	}
+	if req.Dataset == "" {
+		return q, errors.New("dataset is required")
+	}
+	ds, err := h.dataset(req.Dataset)
+	if err != nil {
+		return q, err
+	}
+	iters := req.Iterations
+	alg := algorithms.Name(req.Algorithm)
+	script := req.Script
+	if req.Algorithm != "" {
+		if iters == 0 {
+			iters = algorithms.DefaultIterations(alg)
+		}
+		script, err = algorithms.Script(alg, iters)
+		if err != nil {
+			return q, err
+		}
+	} else if iters == 0 {
+		iters = 15
+	}
+	ins := map[string]engine.Input{}
+	if alg == algorithms.GNMF {
+		w, wh := ds.GNMFFactors(10)
+		ins["V"] = engine.Input{Data: ds.A, VRows: ds.VRows, VCols: ds.VCols}
+		ins["W0"] = engine.Input{Data: w, VRows: ds.VRows, VCols: 10}
+		ins["H0"] = engine.Input{Data: wh, VRows: 10, VCols: ds.VCols}
+	} else {
+		ins["A"] = engine.Input{Data: ds.A, VRows: ds.VRows, VCols: ds.VCols}
+		ins["b"] = engine.Input{Data: ds.Label(), VRows: ds.VRows, VCols: 1}
+		ins["H0"] = engine.Input{Data: ds.InitialH(), VRows: ds.VCols, VCols: ds.VCols}
+		ins["x0"] = engine.Input{Data: ds.InitialX(), VRows: ds.VCols, VCols: 1}
+	}
+	q = serve.NewQuery(script, ins)
+	q.Dataset = req.Dataset
+	q.Iterations = iters
+	q.Strategy, err = parseStrategy(req.Strategy)
+	if err != nil {
+		return q, err
+	}
+	q.Timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	q.NoPlanCache = req.NoPlanCache
+	q.NoIntermediateCache = req.NoIntermediateCache
+	return q, nil
+}
+
+func (h *handler) query(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q, err := h.buildQuery(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := h.srv.Do(r.Context(), q)
+	switch {
+	case errors.Is(err, serve.ErrOverloaded):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, serve.ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, engine.ErrCanceled):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp := queryResponse{
+		Values:           map[string]valueSummary{},
+		Iterations:       res.Iterations,
+		SimulatedSec:     res.SimulatedSec,
+		ComputeSec:       res.ComputeSec,
+		TransmitSec:      res.TransmitSec,
+		CompileSec:       res.CompileSec,
+		WallSec:          res.WallSec,
+		PlanCacheHit:     res.PlanCacheHit,
+		IntermediateHits: res.IntermediateHits,
+		IntermediateMiss: res.IntermediateMisses,
+		SelectedKeys:     res.SelectedKeys,
+	}
+	for name, m := range res.Values {
+		resp.Values[name] = valueSummary{Rows: m.Rows(), Cols: m.Cols(), Frobenius: m.FrobeniusNorm()}
+	}
+	writeJSON(w, resp)
+}
+
+func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, h.srv.Metrics())
+}
+
+func (h *handler) invalidate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	ds := r.URL.Query().Get("dataset")
+	if ds == "" {
+		http.Error(w, "dataset parameter required", http.StatusBadRequest)
+		return
+	}
+	h.srv.InvalidateDataset(ds)
+	writeJSON(w, map[string]any{"dataset": ds, "version": h.srv.DatasetVersion(ds)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}
+
+func main() {
+	addr := flag.String("addr", ":8356", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0: GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue depth")
+	timeout := flag.Duration("timeout", 0, "default per-query deadline (0: none)")
+	planEntries := flag.Int("plan-cache", 128, "compiled-plan cache entries (negative: disabled)")
+	interBudget := flag.Int64("inter-budget", 4<<30, "intermediate cache budget in modelled bytes (negative: disabled)")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Workers:                 *workers,
+		QueueDepth:              *queue,
+		DefaultTimeout:          *timeout,
+		PlanCacheEntries:        *planEntries,
+		IntermediateBudgetBytes: *interBudget,
+	})
+	h := &handler{srv: srv, data: map[string]*data.Dataset{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", h.query)
+	mux.HandleFunc("/stats", h.stats)
+	mux.HandleFunc("/invalidate", h.invalidate)
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("remac-serve listening on %s", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("received %v; draining", sig)
+	case err := <-errc:
+		log.Fatalf("listen: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("server shutdown: %v", err)
+	}
+	log.Print("drained; exiting")
+}

@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -223,7 +224,7 @@ func runOneTraced(cfg runCfg, rec *trace.Recorder) (*runOut, error) {
 	}
 	fcfg := cfg.faults
 	fcfg.Workers = cfg.cluster.Workers()
-	res, err := engine.RunWithOptions(compiled, ins, rec, engine.RunOptions{
+	res, err := engine.RunWithOptions(context.Background(), compiled, ins, rec, engine.RunOptions{
 		Faults:     fault.NewPlan(fcfg),
 		Checkpoint: cfg.checkpoint,
 	})
@@ -274,10 +275,11 @@ var Experiments = map[string]func() (*Table, error){
 	"options": OptionCensus,
 	"opstats": OpStats,
 	"faults":  Faults,
+	"serve":   ServeBench,
 }
 
 // IDs lists experiment IDs in presentation order.
-var IDs = []string{"table2", "fig3a", "fig3b", "fig8a", "fig8b", "fig9", "fig10a", "fig10b", "fig11", "fig12", "fig13", "options", "opstats", "faults"}
+var IDs = []string{"table2", "fig3a", "fig3b", "fig8a", "fig8b", "fig9", "fig10a", "fig10b", "fig11", "fig12", "fig13", "options", "opstats", "faults", "serve"}
 
 // OpStats records per-operator aggregates for a traced DFP run: how many
 // operators of each kind executed, and where the simulated time and bytes

@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -72,6 +73,33 @@ func (e *MaxIterationsError) Error() string {
 
 func (e *MaxIterationsError) Unwrap() error { return ErrMaxIterations }
 
+// ErrCanceled reports a run abandoned because its context was cancelled or
+// its deadline expired. It is the same sentinel opt.CompileCtx wraps, so a
+// serving layer can match compile- and run-phase cancellation with one
+// errors.Is(err, engine.ErrCanceled) check.
+var ErrCanceled = opt.ErrCanceled
+
+// Intermediate is a loop-constant value exchanged with a cross-run
+// IntermediateCache: the materialized matrix plus the virtual dimensions
+// the cost model accounts it at.
+type Intermediate struct {
+	Data         *matrix.Matrix
+	VRows, VCols int64
+}
+
+// IntermediateCache is a cross-run store for loop-constant (LSE) values.
+// The engine consults it before computing an LSE producer and offers the
+// computed value back; keys are the option's canonical expression key plus
+// the producer plan's shape signature, so a hit is guaranteed to stand for
+// the bitwise-identical sequence of kernel executions. Callers that share
+// one cache across runs must namespace keys by dataset version and cluster
+// configuration (see internal/serve) and may need to synchronize: the
+// engine calls Get/Put from the run's own goroutine.
+type IntermediateCache interface {
+	Get(key string) (Intermediate, bool)
+	Put(key string, v Intermediate)
+}
+
 // RunOptions configures the run-time (as opposed to compile-time) behavior
 // of an execution: fault injection and the recovery policy. The zero value
 // reproduces a perfect cluster — no faults, no checkpointing — with zero
@@ -86,6 +114,10 @@ type RunOptions struct {
 	Checkpoint bool
 	// MaxIter overrides MaxIterations when positive.
 	MaxIter int
+	// Intermediates, when non-nil, is a cross-run cache consulted for
+	// loop-constant (LSE) values before computing them; newly computed
+	// values are offered back. See IntermediateCache.
+	Intermediates IntermediateCache
 }
 
 // Run executes a compiled program over the given inputs on a fresh
@@ -98,14 +130,16 @@ func Run(c *opt.Compiled, inputs map[string]Input) (*Result, error) {
 // emits a span, and statement/iteration boundaries enclose them as group
 // spans. A nil recorder disables tracing (Run's behavior).
 func RunTraced(c *opt.Compiled, inputs map[string]Input, rec *trace.Recorder) (*Result, error) {
-	return RunWithOptions(c, inputs, rec, RunOptions{})
+	return RunWithOptions(context.Background(), c, inputs, rec, RunOptions{})
 }
 
-// RunWithOptions is RunTraced with fault injection and recovery policy
-// attached. Injected faults only ever affect cost accounting — kernels
-// execute for real, so the result matrices are numerically identical to a
-// fault-free run.
-func RunWithOptions(c *opt.Compiled, inputs map[string]Input, rec *trace.Recorder, opts RunOptions) (*Result, error) {
+// RunWithOptions is RunTraced with a cancellation context, fault injection
+// and recovery policy attached. Injected faults only ever affect cost
+// accounting — kernels execute for real, so the result matrices are
+// numerically identical to a fault-free run. The context is checked at
+// every plan-node evaluation; when it is cancelled or its deadline passes,
+// the run stops promptly and returns an error wrapping ErrCanceled.
+func RunWithOptions(goCtx context.Context, c *opt.Compiled, inputs map[string]Input, rec *trace.Recorder, opts RunOptions) (*Result, error) {
 	cl := cluster.New(c.Config.Cluster)
 	ctx := distmat.NewContext(cl)
 	ctx.Recorder = rec
@@ -114,12 +148,14 @@ func RunWithOptions(c *opt.Compiled, inputs map[string]Input, rec *trace.Recorde
 	}
 	e := &executor{
 		c:          c,
+		goCtx:      goCtx,
 		ctx:        ctx,
 		rec:        rec,
 		env:        map[string]*distmat.DistMatrix{},
 		inputs:     inputs,
 		lseCache:   map[string]*distmat.DistMatrix{},
 		checkpoint: opts.Checkpoint,
+		inter:      opts.Intermediates,
 	}
 	if err := e.prepare(); err != nil {
 		return nil, err
@@ -139,6 +175,9 @@ func RunWithOptions(c *opt.Compiled, inputs map[string]Input, rec *trace.Recorde
 	iterations := 0
 	if c.Plans.Loop != nil {
 		for iterations < maxIter {
+			if err := e.canceled(); err != nil {
+				return nil, err
+			}
 			ok, err := e.cond(c.Plans.Loop.Cond)
 			if err != nil {
 				return nil, err
@@ -175,10 +214,14 @@ func RunWithOptions(c *opt.Compiled, inputs map[string]Input, rec *trace.Recorde
 
 type executor struct {
 	c      *opt.Compiled
+	goCtx  context.Context
 	ctx    *distmat.Context
 	rec    *trace.Recorder
 	env    map[string]*distmat.DistMatrix
 	inputs map[string]Input
+
+	// inter is the optional cross-run LSE value cache (RunOptions).
+	inter IntermediateCache
 
 	// explicitKeys marks subtree keys stock SystemDS would reuse
 	// (Explicit strategy only).
@@ -328,10 +371,26 @@ func (e *executor) execStmtOriginal(sp plan.StmtPlan) error {
 	return nil
 }
 
+// canceled returns the wrapped ErrCanceled when the run's context is done.
+// It is checked at every plan-node evaluation, bounding the latency of a
+// cancellation to one kernel execution.
+func (e *executor) canceled() error {
+	if e.goCtx == nil {
+		return nil
+	}
+	if err := e.goCtx.Err(); err != nil {
+		return fmt.Errorf("engine: run: %w (%v)", ErrCanceled, err)
+	}
+	return nil
+}
+
 // eval evaluates a plan tree over the runtime environment. Chain regions
 // with resolved block plans evaluate through them (reuse caches included);
 // everything else evaluates structurally.
 func (e *executor) eval(n *plan.Node) (*distmat.DistMatrix, error) {
+	if err := e.canceled(); err != nil {
+		return nil, err
+	}
 	if bp, ok := e.blockByOrigin[n]; ok {
 		return e.evalBlock(bp)
 	}
@@ -553,6 +612,9 @@ func (e *executor) evalBlock(bp *costgraph.BlockPlan) (*distmat.DistMatrix, erro
 // key — SystemDS's identical-subtree CSE over the operator DAG the order
 // optimizer produced.
 func (e *executor) evalOpNode(b *chain.Block, n *costgraph.OpNode) (*distmat.DistMatrix, error) {
+	if err := e.canceled(); err != nil {
+		return nil, err
+	}
 	if n.ReuseOf != nil {
 		v, err := e.optionValue(n.ReuseOf)
 		if err != nil {
@@ -653,7 +715,10 @@ func (e *executor) fusedTranspose(sym string, v *distmat.DistMatrix) *distmat.Di
 
 // optionValue returns the cached value of a selected option, computing its
 // producer on first use. LSE values persist across iterations; CSE values
-// live for one iteration.
+// live for one iteration. When a cross-run intermediate cache is attached,
+// loop-constant values are looked up there first and offered back after
+// computation, so concurrent queries against the same dataset reuse each
+// other's hoisted intermediates instead of recomputing them.
 func (e *executor) optionValue(o *search.Option) (*distmat.DistMatrix, error) {
 	cache := e.cseCache
 	if o.Kind == search.LSE {
@@ -665,6 +730,26 @@ func (e *executor) optionValue(o *search.Option) (*distmat.DistMatrix, error) {
 	pp, ok := e.producers[o.Key]
 	if !ok {
 		return nil, fmt.Errorf("no producer for option %q", o.Key)
+	}
+	interKey := ""
+	if o.Kind == search.LSE && e.inter != nil {
+		if sig := producerSig(pp.Root); sig != "" {
+			if o.Occs[0].Flipped {
+				// A flipped producer computes the transposed chain and then
+				// transposes back: a distinct kernel sequence, so a distinct
+				// key (the cached value must be bitwise-reproducible).
+				sig += "|f"
+			}
+			interKey = o.Key + "|" + sig
+			if iv, ok := e.inter.Get(interKey); ok {
+				// Reuse costs nothing on the simulated cluster: the value is
+				// already resident from the producing query (the serving
+				// layer charges its memory against the cache byte budget).
+				v := distmat.New(e.ctx, iv.Data, iv.VRows, iv.VCols)
+				cache[o.Key] = v
+				return v, nil
+			}
+		}
 	}
 	var v *distmat.DistMatrix
 	var err error
@@ -689,8 +774,36 @@ func (e *executor) optionValue(o *search.Option) (*distmat.DistMatrix, error) {
 		// here converts every later failure's recompute into a DFS read.
 		v.Checkpoint()
 	}
+	if interKey != "" {
+		vr, vc := v.VirtualDims()
+		e.inter.Put(interKey, Intermediate{Data: v.Data(), VRows: vr, VCols: vc})
+	}
 	cache[o.Key] = v
 	return v, nil
+}
+
+// producerSig encodes the shape of a producer plan tree — its split points —
+// so an intermediate-cache key pins down the exact kernel sequence that
+// produced the value. Two queries whose optimizers parenthesized the same
+// canonical expression differently get different keys, which is what makes
+// a cache hit bitwise-identical to recomputation. Producers that reference
+// other options' reuse leaves return "" (not cacheable standalone: their
+// value chains through run-local state).
+func producerSig(n *costgraph.OpNode) string {
+	if n == nil {
+		return ""
+	}
+	if n.ReuseOf != nil {
+		return ""
+	}
+	if n.Lo == n.Hi {
+		return fmt.Sprintf("%d", n.Lo)
+	}
+	l, r := producerSig(n.L), producerSig(n.R)
+	if l == "" || r == "" {
+		return ""
+	}
+	return "(" + l + "." + r + ")"
 }
 
 // groupValue computes a cross-block grouped sum (the first pair of

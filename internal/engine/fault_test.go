@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
@@ -32,7 +33,7 @@ func runFaulted(t *testing.T, alg algorithms.Name, dsName string, s opt.Strategy
 	t.Helper()
 	c := compileFor(t, alg, dsName, s)
 	rec := trace.New()
-	res, err := RunWithOptions(c, inputsFor(t, alg, dsName), rec, opts)
+	res, err := RunWithOptions(context.Background(), c, inputsFor(t, alg, dsName), rec, opts)
 	if err != nil {
 		t.Fatalf("%v/%s/%v faulted run: %v", alg, dsName, s, err)
 	}
@@ -48,7 +49,7 @@ func TestZeroOptionsMatchPlainRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	withOpts, err := RunWithOptions(compileFor(t, algorithms.GD, "cri1", opt.Conservative),
+	withOpts, err := RunWithOptions(context.Background(), compileFor(t, algorithms.GD, "cri1", opt.Conservative),
 		inputsFor(t, algorithms.GD, "cri1"), nil, RunOptions{Faults: fault.NewPlan(fault.Config{})})
 	if err != nil {
 		t.Fatal(err)
@@ -136,7 +137,7 @@ func TestCheckpointReducesRecompute(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func(checkpoint bool) *Result {
-		res, err := RunWithOptions(compiled, inputsFor(t, algorithms.DFP, "cri2"), trace.New(), RunOptions{
+		res, err := RunWithOptions(context.Background(), compiled, inputsFor(t, algorithms.DFP, "cri2"), trace.New(), RunOptions{
 			Faults:     stressPlan(11),
 			Checkpoint: checkpoint,
 		})
@@ -182,7 +183,7 @@ while (i < 1) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = RunWithOptions(c, nil, nil, RunOptions{MaxIter: 7})
+	_, err = RunWithOptions(context.Background(), c, nil, nil, RunOptions{MaxIter: 7})
 	if !errors.Is(err, ErrMaxIterations) {
 		t.Fatalf("errors.Is(err, ErrMaxIterations) false for %v", err)
 	}

@@ -1,0 +1,50 @@
+package lang
+
+import (
+	"sort"
+	"strings"
+)
+
+// Canonical returns a whitespace- and comment-insensitive canonical form of
+// a script: its pragma directives (sorted, deduplicated) followed by the
+// token stream joined with single spaces. Two scripts with equal canonical
+// forms lex to the same token stream and pragma set, and therefore compile
+// to the same program — which makes Canonical the textual component of a
+// compiled-plan cache key (internal/serve).
+func Canonical(src string) (string, error) {
+	toks, pragmas, err := newLexer(src).lex()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	sorted := append([]string(nil), pragmas...)
+	sort.Strings(sorted)
+	last := ""
+	for _, p := range sorted {
+		if p == last {
+			continue
+		}
+		last = p
+		b.WriteByte('#')
+		b.WriteString(p)
+		b.WriteByte('\n')
+	}
+	for i, t := range toks {
+		if t.kind == tokEOF {
+			break
+		}
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if t.kind == tokString {
+			// Strings drop their quotes at lex time; restore them so the
+			// identifier A and the literal "A" cannot collide.
+			b.WriteByte('"')
+			b.WriteString(t.text)
+			b.WriteByte('"')
+		} else {
+			b.WriteString(t.text)
+		}
+	}
+	return b.String(), nil
+}

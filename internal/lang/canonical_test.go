@@ -1,0 +1,53 @@
+package lang
+
+import "testing"
+
+func TestCanonicalInsensitiveToFormatting(t *testing.T) {
+	a := "x = read(\"A\")\ny = t(x) %*% x\n"
+	b := "# comment\nx   =\tread( \"A\" )\n\n\ny = t( x ) %*% x  # trailing\n"
+	ca, err := Canonical(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := Canonical(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca != cb {
+		t.Errorf("formatting changed canonical form:\n%q\n%q", ca, cb)
+	}
+}
+
+func TestCanonicalDistinguishesIdentFromString(t *testing.T) {
+	a, err := Canonical(`x = read("A")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Canonical(`x = read(A)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Errorf("ident A and literal %q collide: %q", "A", a)
+	}
+}
+
+func TestCanonicalSortsAndDedupesPragmas(t *testing.T) {
+	a, err := Canonical("#@symmetric H\n#@symmetric G\nx = 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Canonical("#@symmetric G\n#@symmetric H\n#@symmetric G\nx = 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("pragma order/duplication changed canonical form:\n%q\n%q", a, b)
+	}
+}
+
+func TestCanonicalRejectsLexErrors(t *testing.T) {
+	if _, err := Canonical("x = \"unterminated"); err == nil {
+		t.Error("lex error not surfaced")
+	}
+}

@@ -13,6 +13,8 @@
 package opt
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -160,9 +162,33 @@ type Compiled struct {
 	TotalTime  time.Duration
 }
 
+// ErrCanceled reports a compilation or execution abandoned because its
+// context was cancelled or its deadline expired. Both CompileCtx and
+// engine.RunWithOptions wrap it, so callers can match one sentinel:
+//
+//	errors.Is(err, opt.ErrCanceled)
+var ErrCanceled = errors.New("remac: canceled")
+
+// Canceled wraps a context error in ErrCanceled, preserving the cause in
+// the message. Returns nil for a nil cause.
+func Canceled(phase string, cause error) error {
+	if cause == nil {
+		return nil
+	}
+	return fmt.Errorf("%s: %w (%v)", phase, ErrCanceled, cause)
+}
+
 // Compile runs the pipeline on a program with the given input metadata
 // (virtual dimensions and sparsity per read() name).
 func Compile(prog *lang.Program, inputs map[string]sparsity.Meta, cfg Config) (*Compiled, error) {
+	return CompileCtx(context.Background(), prog, inputs, cfg)
+}
+
+// CompileCtx is Compile with cancellation threaded through the pipeline:
+// the context is checked between phases and inside the block-wise search's
+// window sweeps, so a cancelled or expired query stops compiling promptly
+// and returns an error wrapping ErrCanceled.
+func CompileCtx(ctx context.Context, prog *lang.Program, inputs map[string]sparsity.Meta, cfg Config) (*Compiled, error) {
 	start := time.Now()
 	if cfg.Estimator == nil {
 		cfg.Estimator = sparsity.Metadata{}
@@ -172,6 +198,9 @@ func Compile(prog *lang.Program, inputs map[string]sparsity.Meta, cfg Config) (*
 	}
 	if err := cfg.Cluster.Validate(); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, Canceled("opt: compile", err)
 	}
 
 	plans, err := plan.Build(prog)
@@ -241,10 +270,16 @@ func Compile(prog *lang.Program, inputs map[string]sparsity.Meta, cfg Config) (*
 	if cfg.Strategy == SPORESLike {
 		c.Search = search.SPORES(coords, search.DefaultSPORESConfig())
 	} else {
-		c.Search = search.BlockWise(coords, cfg.Estimator)
+		c.Search, err = search.BlockWiseCtx(ctx, coords, cfg.Estimator)
+		if err != nil {
+			return nil, Canceled("opt: search", err)
+		}
 	}
 	c.SearchTime = time.Since(searchStart)
 
+	if err := ctx.Err(); err != nil {
+		return nil, Canceled("opt: plan", err)
+	}
 	planStart := time.Now()
 	planner, err := costgraph.NewPlanner(costgraph.Config{
 		Model:      cost.NewModel(cfg.Cluster, cfg.Estimator),

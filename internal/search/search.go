@@ -5,6 +5,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -107,6 +108,18 @@ type hit struct {
 // CSE options off key conflicts and LSE options off fully loop-constant
 // windows, then run the cross-block grouping extension.
 func BlockWise(c *chain.Coordinates, est sparsity.Estimator) *Result {
+	res, err := BlockWiseCtx(context.Background(), c, est)
+	if err != nil {
+		// Unreachable: the background context never cancels.
+		panic(err)
+	}
+	return res
+}
+
+// BlockWiseCtx is BlockWise with cancellation: the context is checked
+// between window sweeps, so an expired or cancelled compilation stops
+// promptly and returns the context's error instead of a partial result.
+func BlockWiseCtx(ctx context.Context, c *chain.Coordinates, est sparsity.Estimator) (*Result, error) {
 	start := time.Now()
 	res := &Result{Coords: c}
 
@@ -114,6 +127,9 @@ func BlockWise(c *chain.Coordinates, est sparsity.Estimator) *Result {
 	order := []string{}
 
 	for _, b := range c.Blocks {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		n := b.Len()
 		for size := 2; size <= n; size++ {
 			for lo := 0; lo+size-1 < n; lo++ {
@@ -136,6 +152,9 @@ func BlockWise(c *chain.Coordinates, est sparsity.Estimator) *Result {
 	}
 
 	for _, key := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		hits := table[key]
 		occs := disjointOccurrences(hits)
 		if len(occs) == 0 {
@@ -170,7 +189,7 @@ func BlockWise(c *chain.Coordinates, est sparsity.Estimator) *Result {
 	}
 	res.Elapsed = time.Since(start)
 	_ = est
-	return res
+	return res, nil
 }
 
 // spanWellFormed verifies the window is a valid chain product (inner
@@ -189,11 +208,18 @@ func disjointOccurrences(hits []hit) []Occurrence {
 	for _, h := range hits {
 		occs = append(occs, h.occ)
 	}
+	// Total order (block, lo, hi): a lo-only sort leaves same-key windows
+	// that share a start in arrival order, which for the parallel tree-wise
+	// search depends on goroutine scheduling — and a different occurrence
+	// set would change the chosen plan between identical compilations.
 	sort.Slice(occs, func(i, j int) bool {
 		if occs[i].Block != occs[j].Block {
 			return occs[i].Block < occs[j].Block
 		}
-		return occs[i].Lo < occs[j].Lo
+		if occs[i].Lo != occs[j].Lo {
+			return occs[i].Lo < occs[j].Lo
+		}
+		return occs[i].Hi < occs[j].Hi
 	})
 	out := occs[:0]
 	lastBlock, lastHi := -1, -1

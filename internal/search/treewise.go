@@ -29,6 +29,16 @@ type treeNode struct {
 // overall search is reported as timed out (it cannot be complete).
 const treeCap = 50000
 
+// twPlanBudget bounds the total number of full plans scanned. Truncation
+// must be deterministic — the serving layer caches compiled plans, so the
+// option set (and with it the chosen plan) may depend only on the inputs,
+// never on GOMAXPROCS or scheduling. The budget is therefore split evenly
+// across first-block choices and each share is consumed in odometer order:
+// the scanned plan set is a pure function of the coordinates. A variable
+// so tests can shrink it to keep budget-truncated runs well clear of the
+// wall-clock emergency stop on slow (e.g. race-instrumented) builds.
+var twPlanBudget = 400000
+
 // enumTrees returns the full binary trees over [lo, hi], up to treeCap per
 // interval. Memoized per block; within the cap the count is exactly the
 // Catalan number of the interval length.
@@ -61,9 +71,12 @@ func enumTrees(memo map[[2]int][]*treeNode, lo, hi int, truncated *bool) []*tree
 	return out
 }
 
-// TreeWise runs the exhaustive baseline with the given deadline. It finds
-// the same options as BlockWise when it completes; when the deadline cuts
-// it off, TimedOut is set and the options found so far are returned.
+// TreeWise runs the exhaustive baseline. It finds the same options as
+// BlockWise when it completes; on larger programs the deterministic plan
+// budget (twPlanBudget) cuts it off, TimedOut is set, and the options found
+// so far are returned. The deadline is an additional emergency stop for
+// machines where even the budgeted scan is too slow; within the budget the
+// result is identical for every GOMAXPROCS value.
 func TreeWise(c *chain.Coordinates, deadline time.Duration) *Result {
 	start := time.Now()
 	res := &Result{Coords: c, TimedOut: false}
@@ -90,7 +103,15 @@ func TreeWise(c *chain.Coordinates, deadline time.Duration) *Result {
 
 	var mu sync.Mutex
 	cutoff := start.Add(deadline)
+	// The wall deadline is only an emergency stop (it sacrifices
+	// determinism); normal truncation is the per-first plan budget below.
 	stopped := func() bool { return time.Now().After(cutoff) }
+
+	// perFirst is each first-block choice's share of the plan budget,
+	// consumed in odometer order over the remaining blocks. Every first
+	// choice scans the same plans no matter which worker picks it up.
+	perFirst := max(1, twPlanBudget/len(perBlock[0]))
+	capped := false
 
 	// choice holds the currently selected tree index per block; odometer
 	// enumeration of the cross product, parallelized over the first
@@ -142,20 +163,23 @@ func TreeWise(c *chain.Coordinates, deadline time.Duration) *Result {
 			defer wg.Done()
 			localCSE := map[string][]twSpan{}
 			localLSE := map[string][]twSpan{}
+			localCapped := false
 			for first := range firstChoices {
 				// Keep draining the channel after the deadline so the
 				// feeder never blocks on an unbuffered send.
 				if stopped() {
 					continue
 				}
-				// Odometer over the remaining blocks.
+				// Odometer over the remaining blocks, bounded by this
+				// first choice's budget share.
 				choice := make([]int, len(perBlock))
 				choice[0] = first
-				for {
+				for scanned := 0; ; {
 					if stopped() {
 						break
 					}
 					visited[w]++
+					scanned++
 					scanPlan(choice, localCSE, localLSE)
 					// Increment odometer from block 1 upward.
 					i := 1
@@ -167,11 +191,16 @@ func TreeWise(c *chain.Coordinates, deadline time.Duration) *Result {
 						choice[i] = 0
 					}
 					if i >= len(choice) {
+						break // this first choice's cross product is complete
+					}
+					if scanned >= perFirst {
+						localCapped = true
 						break
 					}
 				}
 			}
 			mu.Lock()
+			capped = capped || localCapped
 			for k, spans := range localCSE {
 				cse[k] = append(cse[k], spans...)
 			}
@@ -191,7 +220,7 @@ func TreeWise(c *chain.Coordinates, deadline time.Duration) *Result {
 	}
 	close(firstChoices)
 	wg.Wait()
-	if stopped() || truncated {
+	if stopped() || truncated || capped {
 		res.TimedOut = true
 	}
 

@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"remac/internal/engine"
+	"remac/internal/lang"
+	"remac/internal/matrix"
+	"remac/internal/opt"
+)
+
+// planKey is the compiled-plan cache identity: canonical program text plus
+// everything else that can change the chosen plan — input shapes and
+// sparsity buckets, cluster configuration, strategy, estimator, combiner,
+// and the expected iteration count the adaptive selector amortizes over.
+// Key computation is on the warm path, so the per-matrix sparsity scan is
+// memoized by matrix identity (sparsitySig).
+func (s *Server) planKey(q Query, cfg opt.Config) (string, error) {
+	canon, err := lang.Canonical(q.Script)
+	if err != nil {
+		return "", err
+	}
+	names := make([]string, 0, len(q.Inputs))
+	for name := range q.Inputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString(canon)
+	b.WriteByte('\n')
+	for _, name := range names {
+		in := q.Inputs[name]
+		if in.Data == nil {
+			return "", fmt.Errorf("serve: input %q has nil data", name)
+		}
+		vr, vc := in.VRows, in.VCols
+		if vr <= 0 {
+			vr = int64(in.Data.Rows())
+		}
+		if vc <= 0 {
+			vc = int64(in.Data.Cols())
+		}
+		fmt.Fprintf(&b, "%s=%dx%d@%s;", name, vr, vc, s.sparsitySig(in.Data))
+	}
+	fmt.Fprintf(&b, "\n%v|%s|%v|it%d|%s",
+		cfg.Strategy, cfg.Estimator.Name(), cfg.Combiner, cfg.Iterations, clusterSig(cfg.Cluster))
+	return b.String(), nil
+}
+
+// sparsitySig returns a matrix's bucketed sparsity, memoized by identity:
+// matrices are immutable once handed to the engine, and counting nonzeros
+// of a dense matrix is O(cells) — too slow for the plan-cache hit path.
+func (s *Server) sparsitySig(m *matrix.Matrix) string {
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
+	if sig, ok := s.metaSigs[m]; ok {
+		return sig
+	}
+	sig := sparsityBucket(m.Sparsity())
+	if len(s.metaSigs) >= 4096 {
+		// Bound the memo against a stream of never-repeating matrices.
+		s.metaSigs = map[*matrix.Matrix]string{}
+	}
+	if s.metaSigs == nil {
+		s.metaSigs = map[*matrix.Matrix]string{}
+	}
+	s.metaSigs[m] = sig
+	return sig
+}
+
+// sparsityBucket coarsens a sparsity to two significant digits so inputs
+// differing only by estimation noise share plans, while order-of-magnitude
+// differences (which flip dense/sparse kernel choices) do not.
+func sparsityBucket(s float64) string {
+	if s >= 1 {
+		return "1"
+	}
+	return strconv.FormatFloat(s, 'e', 1, 64)
+}
+
+// planEntry is one cached (or in-flight) compilation.
+type planEntry struct {
+	key   string
+	c     *opt.Compiled
+	err   error
+	ready chan struct{}
+}
+
+// planCache is an LRU of compiled plans with in-flight coalescing: one
+// compilation per key runs at a time, and concurrent requests for the same
+// key wait for it rather than duplicating the search.
+type planCache struct {
+	mu       sync.Mutex
+	cap      int
+	ll       *list.List // front = most recent; elements hold *planEntry
+	items    map[string]*list.Element
+	inflight map[string]*planEntry
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		cap:      capacity,
+		ll:       list.New(),
+		items:    map[string]*list.Element{},
+		inflight: map[string]*planEntry{},
+	}
+}
+
+// getOrCompile returns the plan for key, compiling it at most once across
+// concurrent callers. hit reports whether this caller avoided compiling
+// itself (cached entry or a successful concurrent leader).
+func (p *planCache) getOrCompile(ctx context.Context, key string, compile func() (*opt.Compiled, error)) (c *opt.Compiled, hit bool, err error) {
+	p.mu.Lock()
+	if el, ok := p.items[key]; ok {
+		p.ll.MoveToFront(el)
+		c = el.Value.(*planEntry).c
+		p.mu.Unlock()
+		return c, true, nil
+	}
+	if e, ok := p.inflight[key]; ok {
+		p.mu.Unlock()
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, false, opt.Canceled("serve: plan wait", ctx.Err())
+		}
+		if e.err == nil {
+			return e.c, true, nil
+		}
+		// The leader failed; its error may be specific to its context
+		// (e.g. a deadline), so compile independently.
+		c, err = compile()
+		return c, false, err
+	}
+	e := &planEntry{key: key, ready: make(chan struct{})}
+	p.inflight[key] = e
+	p.mu.Unlock()
+
+	e.c, e.err = compile()
+
+	p.mu.Lock()
+	delete(p.inflight, key)
+	if e.err == nil {
+		p.items[key] = p.ll.PushFront(e)
+		for p.ll.Len() > p.cap {
+			back := p.ll.Back()
+			p.ll.Remove(back)
+			delete(p.items, back.Value.(*planEntry).key)
+		}
+	}
+	p.mu.Unlock()
+	close(e.ready)
+	return e.c, false, e.err
+}
+
+func (p *planCache) len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ll.Len()
+}
+
+// interEntry is one cached loop-constant intermediate.
+type interEntry struct {
+	key   string
+	v     engine.Intermediate
+	bytes int64
+}
+
+// interCache is a byte-budgeted LRU of materialized LSE intermediates.
+// Entries are charged at the value's modelled virtual-scale size — the
+// cache stands in for cluster memory, so its budget is accounted in the
+// same units the simulated cluster's cost model uses.
+type interCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	ll     *list.List // front = most recent; elements hold *interEntry
+	items  map[string]*list.Element
+}
+
+func newInterCache(budget int64) *interCache {
+	return &interCache{budget: budget, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+func (c *interCache) get(key string) (engine.Intermediate, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return engine.Intermediate{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*interEntry).v, true
+}
+
+func (c *interCache) put(key string, v engine.Intermediate) {
+	if v.Data == nil {
+		return
+	}
+	bytes := matrix.SizeBytesFor(int(v.VRows), int(v.VCols), v.Data.Sparsity())
+	if bytes > c.budget {
+		return // larger than the whole budget: not cacheable
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&interEntry{key: key, v: v, bytes: bytes})
+	c.used += bytes
+	for c.used > c.budget {
+		back := c.ll.Back()
+		e := back.Value.(*interEntry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.used -= e.bytes
+	}
+}
+
+// dropNamespace evicts every entry whose key starts with prefix (dataset
+// invalidation).
+func (c *interCache) dropNamespace(prefix string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*interEntry)
+		if strings.HasPrefix(e.key, prefix) {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			c.used -= e.bytes
+		}
+		el = next
+	}
+}
+
+func (c *interCache) usage() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.used
+}
+
+// view scopes the cache to one (dataset version, cluster) namespace and
+// counts this query's hits and misses. A view is used by a single engine
+// run (one goroutine); the underlying cache handles cross-query
+// synchronization.
+func (c *interCache) view(namespace string) *interView {
+	return &interView{ns: namespace, c: c}
+}
+
+type interView struct {
+	ns           string
+	c            *interCache
+	hits, misses int
+}
+
+func (v *interView) Get(key string) (engine.Intermediate, bool) {
+	iv, ok := v.c.get(v.ns + "|" + key)
+	if ok {
+		v.hits++
+	} else {
+		v.misses++
+	}
+	return iv, ok
+}
+
+func (v *interView) Put(key string, iv engine.Intermediate) {
+	v.c.put(v.ns+"|"+key, iv)
+}

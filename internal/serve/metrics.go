@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow bounds the sliding window percentiles are computed over.
+const latencyWindow = 1024
+
+// metrics aggregates server-wide counters. A single mutex is fine at this
+// scale: updates are a handful per query, queries take milliseconds.
+type metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	completed uint64
+	failed    uint64
+	rejectedN uint64
+	queued    int
+	inflight  int
+
+	planHits, planMisses   uint64
+	interHits, interMisses uint64
+
+	lat     [latencyWindow]float64
+	latIdx  int
+	latFull bool
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now()}
+}
+
+func (m *metrics) enqueued() {
+	m.mu.Lock()
+	m.queued++
+	m.mu.Unlock()
+}
+
+func (m *metrics) rejected() {
+	m.mu.Lock()
+	m.rejectedN++
+	m.mu.Unlock()
+}
+
+func (m *metrics) dequeued() {
+	m.mu.Lock()
+	m.queued--
+	m.inflight++
+	m.mu.Unlock()
+}
+
+// finished records one settled query: its wall latency and outcome.
+func (m *metrics) finished(latencySec float64, err error) {
+	m.mu.Lock()
+	m.inflight--
+	if err != nil {
+		m.failed++
+	} else {
+		m.completed++
+		m.lat[m.latIdx] = latencySec
+		m.latIdx++
+		if m.latIdx == latencyWindow {
+			m.latIdx = 0
+			m.latFull = true
+		}
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) planHit() {
+	m.mu.Lock()
+	m.planHits++
+	m.mu.Unlock()
+}
+
+func (m *metrics) planMiss() {
+	m.mu.Lock()
+	m.planMisses++
+	m.mu.Unlock()
+}
+
+func (m *metrics) interCounts(hits, misses int) {
+	m.mu.Lock()
+	m.interHits += uint64(hits)
+	m.interMisses += uint64(misses)
+	m.mu.Unlock()
+}
+
+// Snapshot is a point-in-time view of the server's aggregate metrics,
+// JSON-serializable for cmd/remac-serve's /stats endpoint.
+type Snapshot struct {
+	UptimeSec float64 `json:"uptime_sec"`
+	Completed uint64  `json:"completed"`
+	Failed    uint64  `json:"failed"`
+	Rejected  uint64  `json:"rejected"`
+	// QPS is completed queries per second of uptime.
+	QPS float64 `json:"qps"`
+	// Latency percentiles over the last completed queries (seconds).
+	LatencyP50Sec float64 `json:"latency_p50_sec"`
+	LatencyP95Sec float64 `json:"latency_p95_sec"`
+	LatencyP99Sec float64 `json:"latency_p99_sec"`
+
+	PlanHits    uint64  `json:"plan_cache_hits"`
+	PlanMisses  uint64  `json:"plan_cache_misses"`
+	PlanHitRate float64 `json:"plan_cache_hit_rate"`
+	PlanEntries int     `json:"plan_cache_entries"`
+
+	InterHits    uint64  `json:"intermediate_cache_hits"`
+	InterMisses  uint64  `json:"intermediate_cache_misses"`
+	InterHitRate float64 `json:"intermediate_cache_hit_rate"`
+	InterEntries int     `json:"intermediate_cache_entries"`
+	InterBytes   int64   `json:"intermediate_cache_bytes"`
+
+	QueueDepth int `json:"queue_depth"`
+	InFlight   int `json:"in_flight"`
+}
+
+func (m *metrics) snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		UptimeSec:   time.Since(m.start).Seconds(),
+		Completed:   m.completed,
+		Failed:      m.failed,
+		Rejected:    m.rejectedN,
+		PlanHits:    m.planHits,
+		PlanMisses:  m.planMisses,
+		InterHits:   m.interHits,
+		InterMisses: m.interMisses,
+		QueueDepth:  m.queued,
+		InFlight:    m.inflight,
+	}
+	if s.UptimeSec > 0 {
+		s.QPS = float64(s.Completed) / s.UptimeSec
+	}
+	if t := s.PlanHits + s.PlanMisses; t > 0 {
+		s.PlanHitRate = float64(s.PlanHits) / float64(t)
+	}
+	if t := s.InterHits + s.InterMisses; t > 0 {
+		s.InterHitRate = float64(s.InterHits) / float64(t)
+	}
+	n := m.latIdx
+	if m.latFull {
+		n = latencyWindow
+	}
+	if n > 0 {
+		window := make([]float64, n)
+		copy(window, m.lat[:n])
+		sort.Float64s(window)
+		s.LatencyP50Sec = percentile(window, 0.50)
+		s.LatencyP95Sec = percentile(window, 0.95)
+		s.LatencyP99Sec = percentile(window, 0.99)
+	}
+	return s
+}
+
+// percentile reads the nearest-rank percentile from a sorted slice.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

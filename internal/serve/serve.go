@@ -1,0 +1,446 @@
+// Package serve is the concurrent query-serving layer: a multi-session
+// server that accepts DML programs, runs them on a bounded worker pool with
+// admission queueing, per-query deadlines and graceful shutdown, and layers
+// two cross-query caches over the compiler and engine:
+//
+//   - a compiled-plan cache (LRU over canonicalized program text + input
+//     metadata + cluster configuration), so repeat queries skip the search
+//     phase whose compile time Fig 8(a) measures, and
+//   - a cross-query intermediate cache (byte-budgeted LRU keyed by canonical
+//     expression + producer-plan signature, namespaced by dataset version and
+//     cluster configuration), so concurrent sessions against the same
+//     dataset reuse loop-constant intermediates like AᵀA and Aᵀb instead of
+//     recomputing them.
+//
+// Every query still executes on its own isolated simulated cluster and
+// trace recorder; only immutable compiled plans and materialized
+// loop-constant values are shared. Server-level metrics (QPS, latency
+// percentiles, hit rates, queue depth) aggregate across queries and are
+// exposed via Metrics for cmd/remac-serve's /stats endpoint.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"remac/internal/cluster"
+	"remac/internal/engine"
+	"remac/internal/lang"
+	"remac/internal/matrix"
+	"remac/internal/opt"
+	"remac/internal/sparsity"
+	"remac/internal/trace"
+)
+
+// Errors returned by Do.
+var (
+	// ErrOverloaded reports an admission queue full at submission time;
+	// callers should back off and retry.
+	ErrOverloaded = errors.New("serve: admission queue full")
+	// ErrClosed reports a query submitted after Shutdown began.
+	ErrClosed = errors.New("serve: server closed")
+)
+
+// Config parameterizes a Server. The zero value picks sensible defaults;
+// negative cache sizes disable the corresponding cache.
+type Config struct {
+	// Workers bounds concurrently executing queries. Default
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds queries admitted but not yet running; submissions
+	// beyond it fail fast with ErrOverloaded. Default 64.
+	QueueDepth int
+	// DefaultTimeout applies to queries without their own Timeout. Zero
+	// means no deadline.
+	DefaultTimeout time.Duration
+	// PlanCacheEntries bounds the compiled-plan LRU. Default 128; negative
+	// disables plan caching.
+	PlanCacheEntries int
+	// IntermediateBudgetBytes bounds the cross-query intermediate cache,
+	// charged at the simulated cluster's modelled (virtual-scale) value
+	// sizes. Default 4 GiB; negative disables intermediate caching.
+	IntermediateBudgetBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.PlanCacheEntries == 0 {
+		c.PlanCacheEntries = 128
+	}
+	if c.IntermediateBudgetBytes == 0 {
+		c.IntermediateBudgetBytes = 4 << 30
+	}
+	return c
+}
+
+// Query is one DML program submission.
+type Query struct {
+	// Script is the DML program text. Plan-cache keys use its canonical
+	// token stream, so formatting and comments do not defeat caching.
+	Script string
+	// Inputs binds read() names to matrices (with virtual dimensions).
+	Inputs map[string]engine.Input
+	// Dataset identifies the logical dataset the inputs came from; it
+	// namespaces the intermediate cache. Empty disables intermediate
+	// caching for this query (no safe reuse identity).
+	Dataset string
+	// Strategy defaults to Adaptive (the zero value is NoElimination, so
+	// the default is applied only when the whole field set is zero — use
+	// NewQuery for the defaulted form). Iterations defaults to 15.
+	Strategy   opt.Strategy
+	Estimator  sparsity.Estimator // nil → MNC
+	Combiner   opt.Combiner
+	Iterations int
+	// Cluster is the simulated cluster configuration; the zero value means
+	// cluster.DefaultConfig().
+	Cluster cluster.Config
+	// Timeout overrides the server's DefaultTimeout when positive.
+	Timeout time.Duration
+	// MaxIterations overrides the engine's runaway-loop cap when positive.
+	MaxIterations int
+	// Trace attaches a span recorder to the run (returned on the result).
+	Trace bool
+	// NoPlanCache / NoIntermediateCache opt this query out of the shared
+	// caches (used by the cache-off arms of the serve benchmark).
+	NoPlanCache         bool
+	NoIntermediateCache bool
+}
+
+// NewQuery returns a Query with the library defaults: adaptive strategy,
+// MNC estimator, 15 expected iterations.
+func NewQuery(script string, inputs map[string]engine.Input) Query {
+	return Query{Script: script, Inputs: inputs, Strategy: opt.Adaptive, Iterations: 15}
+}
+
+// QueryResult is the outcome of one served query.
+type QueryResult struct {
+	// Values holds the final variable bindings' materialized matrices.
+	Values map[string]*matrix.Matrix
+	// Iterations executed.
+	Iterations int
+	// SimulatedSec is the modelled execution time on the query's isolated
+	// simulated cluster; ComputeSec/TransmitSec split it.
+	SimulatedSec, ComputeSec, TransmitSec float64
+	// CompileSec is the real time this query spent obtaining its plan: a
+	// full compilation on a plan-cache miss, a lookup on a hit.
+	CompileSec float64
+	// WallSec is the real end-to-end execution time of the query body
+	// (compile + run), excluding queueing.
+	WallSec float64
+	// PlanCacheHit marks a compiled-plan reuse.
+	PlanCacheHit bool
+	// IntermediateHits/Misses count cross-query LSE cache consultations.
+	IntermediateHits, IntermediateMisses int
+	// SelectedKeys are the applied elimination option keys (sorted).
+	SelectedKeys []string
+	// Trace is the query's span recorder (nil unless Query.Trace).
+	Trace *trace.Recorder
+}
+
+type jobOut struct {
+	res *QueryResult
+	err error
+}
+
+type job struct {
+	ctx context.Context
+	q   Query
+	out chan jobOut // buffered: workers never block on abandoned callers
+}
+
+// Server is a concurrent query server. Create with New, submit with Do,
+// stop with Shutdown.
+type Server struct {
+	cfg     Config
+	queue   chan *job
+	wg      sync.WaitGroup
+	metrics *metrics
+
+	mu       sync.Mutex
+	closed   bool
+	versions map[string]int64
+
+	// metaSigs memoizes per-matrix sparsity buckets for plan-key
+	// computation (see sparsitySig).
+	metaMu   sync.Mutex
+	metaSigs map[*matrix.Matrix]string
+
+	plans *planCache
+	inter *interCache
+}
+
+// New starts a server with cfg.Workers executor goroutines.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		queue:    make(chan *job, cfg.QueueDepth),
+		metrics:  newMetrics(),
+		versions: map[string]int64{},
+	}
+	if cfg.PlanCacheEntries > 0 {
+		s.plans = newPlanCache(cfg.PlanCacheEntries)
+	}
+	if cfg.IntermediateBudgetBytes > 0 {
+		s.inter = newInterCache(cfg.IntermediateBudgetBytes)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Do submits a query and blocks until it completes, fails, or ctx ends.
+// Admission is non-blocking: a full queue fails fast with ErrOverloaded.
+// When ctx ends first, Do returns an error wrapping engine.ErrCanceled and
+// the in-flight work stops promptly on its own (the worker shares ctx).
+func (s *Server) Do(ctx context.Context, q Query) (*QueryResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	j := &job{ctx: ctx, q: q, out: make(chan jobOut, 1)}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	select {
+	case s.queue <- j:
+		s.mu.Unlock()
+		s.metrics.enqueued()
+	default:
+		s.mu.Unlock()
+		s.metrics.rejected()
+		return nil, ErrOverloaded
+	}
+	select {
+	case o := <-j.out:
+		return o.res, o.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("serve: %w (%v)", engine.ErrCanceled, ctx.Err())
+	}
+}
+
+// Shutdown stops admission immediately, drains queued and in-flight
+// queries, and returns when every worker has exited or ctx ends (returning
+// ctx's error, with workers still draining in the background). Safe to
+// call once; later Do calls fail with ErrClosed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown: %w", ctx.Err())
+	}
+}
+
+// InvalidateDataset bumps a dataset's version: cached intermediates keyed
+// under older versions become unreachable and are dropped eagerly. Call it
+// whenever the dataset's contents change.
+func (s *Server) InvalidateDataset(id string) {
+	s.mu.Lock()
+	s.versions[id]++
+	s.mu.Unlock()
+	if s.inter != nil {
+		s.inter.dropNamespace(namespacePrefix(id))
+	}
+}
+
+// DatasetVersion returns the current version of a dataset id (0 until the
+// first InvalidateDataset).
+func (s *Server) DatasetVersion(id string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.versions[id]
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.metrics.dequeued()
+		if err := j.ctx.Err(); err != nil {
+			// The caller is gone; skip the work, settle the job.
+			s.metrics.finished(0, fmt.Errorf("%w", engine.ErrCanceled))
+			j.out <- jobOut{err: fmt.Errorf("serve: %w (%v)", engine.ErrCanceled, err)}
+			continue
+		}
+		start := time.Now()
+		res, err := s.execute(j.ctx, j.q)
+		s.metrics.finished(time.Since(start).Seconds(), err)
+		j.out <- jobOut{res: res, err: err}
+	}
+}
+
+// execute runs one query end to end: plan (cached or compiled), then
+// execute on a fresh simulated cluster with the cross-query intermediate
+// cache attached.
+func (s *Server) execute(ctx context.Context, q Query) (*QueryResult, error) {
+	timeout := q.Timeout
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	if q.Iterations == 0 {
+		q.Iterations = 15
+	}
+	if q.Estimator == nil {
+		q.Estimator = sparsity.MNC{}
+	}
+	if q.Cluster.Nodes == 0 {
+		q.Cluster = cluster.DefaultConfig()
+	}
+	ocfg := opt.Config{
+		Strategy:   q.Strategy,
+		Estimator:  q.Estimator,
+		Combiner:   q.Combiner,
+		Cluster:    q.Cluster,
+		Iterations: q.Iterations,
+	}
+
+	start := time.Now()
+	compiled, compileSec, planHit, err := s.plan(ctx, q, ocfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var rec *trace.Recorder
+	if q.Trace {
+		rec = trace.New()
+	}
+	var view *interView
+	var inter engine.IntermediateCache
+	if s.inter != nil && !q.NoIntermediateCache && q.Dataset != "" {
+		view = s.inter.view(s.namespaceFor(q))
+		inter = view
+	}
+	res, err := engine.RunWithOptions(ctx, compiled, q.Inputs, rec, engine.RunOptions{
+		MaxIter:       q.MaxIterations,
+		Intermediates: inter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &QueryResult{
+		Values:       map[string]*matrix.Matrix{},
+		Iterations:   res.Iterations,
+		SimulatedSec: res.Stats.TotalTime(),
+		ComputeSec:   res.Stats.ComputeTime,
+		TransmitSec:  res.Stats.TransmitTime,
+		CompileSec:   compileSec,
+		WallSec:      time.Since(start).Seconds(),
+		PlanCacheHit: planHit,
+		Trace:        rec,
+	}
+	for name, v := range res.Env {
+		out.Values[name] = v.Data()
+	}
+	if compiled.Decision != nil {
+		out.SelectedKeys = compiled.Decision.Keys()
+	}
+	if view != nil {
+		out.IntermediateHits, out.IntermediateMisses = view.hits, view.misses
+		s.metrics.interCounts(view.hits, view.misses)
+	}
+	return out, nil
+}
+
+// plan obtains the compiled plan for a query: from the plan cache when
+// enabled (with in-flight compilations of the same key coalesced), else by
+// compiling. The returned seconds measure what this query actually waited
+// for its plan.
+func (s *Server) plan(ctx context.Context, q Query, ocfg opt.Config) (*opt.Compiled, float64, bool, error) {
+	compile := func() (*opt.Compiled, error) {
+		prog, err := lang.Parse(q.Script)
+		if err != nil {
+			return nil, err
+		}
+		metas := map[string]sparsity.Meta{}
+		for name, in := range q.Inputs {
+			if in.Data == nil {
+				return nil, fmt.Errorf("serve: input %q has nil data", name)
+			}
+			metas[name] = sparsity.Virtualize(sparsity.MetaOf(in.Data), in.VRows, in.VCols)
+		}
+		return opt.CompileCtx(ctx, prog, metas, ocfg)
+	}
+	start := time.Now()
+	if s.plans == nil || q.NoPlanCache {
+		c, err := compile()
+		return c, time.Since(start).Seconds(), false, err
+	}
+	key, err := s.planKey(q, ocfg)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	c, hit, err := s.plans.getOrCompile(ctx, key, compile)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if hit {
+		s.metrics.planHit()
+	} else {
+		s.metrics.planMiss()
+	}
+	return c, time.Since(start).Seconds(), hit, nil
+}
+
+// namespaceFor scopes intermediate-cache keys: dataset id + version +
+// cluster signature. The version bound at query start makes an
+// InvalidateDataset bump instantly unreachable; the cluster signature keeps
+// values produced under one simulated topology from serving another (plan
+// choice — and with it the bitwise kernel sequence — depends on it).
+func (s *Server) namespaceFor(q Query) string {
+	return fmt.Sprintf("%s@%d|%s", q.Dataset, s.DatasetVersion(q.Dataset), clusterSig(q.Cluster))
+}
+
+func namespacePrefix(dataset string) string { return dataset + "@" }
+
+// clusterSig fingerprints every cluster parameter that can change plan
+// choice or placement.
+func clusterSig(c cluster.Config) string {
+	return fmt.Sprintf("n%d.c%d.f%g.net%g.disk%g.mem%d.b%d.e%g.j%g.sp%g.nl%t.d%t",
+		c.Nodes, c.CoresPerNode, c.FlopsPerCore, c.NetBandwidth, c.DiskBandwidth,
+		c.DriverMemory, c.BlockSize, c.Efficiency, c.JobOverheadSec, c.SparsePenalty,
+		c.NoLocalMode, c.DenseOnly)
+}
+
+// Metrics returns a point-in-time snapshot of the server's aggregate
+// metrics.
+func (s *Server) Metrics() Snapshot {
+	snap := s.metrics.snapshot()
+	if s.plans != nil {
+		snap.PlanEntries = s.plans.len()
+	}
+	if s.inter != nil {
+		snap.InterEntries, snap.InterBytes = s.inter.usage()
+	}
+	return snap
+}

@@ -1,0 +1,406 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"remac/internal/algorithms"
+	"remac/internal/cluster"
+	"remac/internal/data"
+	"remac/internal/engine"
+	"remac/internal/matrix"
+	"remac/internal/opt"
+)
+
+// testQuery builds a serve query for a workload over a loaded dataset.
+func testQuery(t *testing.T, alg algorithms.Name, dsName string, iters int) Query {
+	t.Helper()
+	src, err := algorithms.Script(alg, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := data.MustLoad(dsName)
+	ins := map[string]engine.Input{}
+	if alg == algorithms.GNMF {
+		w, h := ds.GNMFFactors(10)
+		ins["V"] = engine.Input{Data: ds.A, VRows: ds.VRows, VCols: ds.VCols}
+		ins["W0"] = engine.Input{Data: w, VRows: ds.VRows, VCols: 10}
+		ins["H0"] = engine.Input{Data: h, VRows: 10, VCols: ds.VCols}
+	} else {
+		ins["A"] = engine.Input{Data: ds.A, VRows: ds.VRows, VCols: ds.VCols}
+		ins["b"] = engine.Input{Data: ds.Label(), VRows: ds.VRows, VCols: 1}
+		ins["H0"] = engine.Input{Data: ds.InitialH(), VRows: ds.VCols, VCols: ds.VCols}
+		ins["x0"] = engine.Input{Data: ds.InitialX(), VRows: ds.VCols, VCols: 1}
+	}
+	q := NewQuery(src, ins)
+	q.Dataset = dsName
+	q.Iterations = iters
+	return q
+}
+
+// bitwiseEqual compares every cell by its float64 bit pattern — stricter
+// than numeric equality (distinguishes -0 from 0 and any NaN payloads).
+func bitwiseEqual(a, b *matrix.Matrix) bool {
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() {
+		return false
+	}
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			if math.Float64bits(a.At(i, j)) != math.Float64bits(b.At(i, j)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func bitwiseEqualValues(t *testing.T, a, b map[string]*matrix.Matrix) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("result variable sets differ: %d vs %d", len(a), len(b))
+	}
+	for name, av := range a {
+		bv, ok := b[name]
+		if !ok {
+			t.Fatalf("variable %s missing from second result", name)
+		}
+		if !bitwiseEqual(av, bv) {
+			t.Errorf("variable %s differs bitwise between runs", name)
+		}
+	}
+}
+
+// TestServeCachedResultsBitwiseIdentical is the core cache-correctness
+// property: a query answered from warm caches (plan + intermediates) must
+// return results bitwise identical to a fully cold, cache-free run.
+func TestServeCachedResultsBitwiseIdentical(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+
+	q := testQuery(t, algorithms.DFP, "cri1", 5)
+
+	// Cold reference: all caches bypassed.
+	ref := q
+	ref.NoPlanCache = true
+	ref.NoIntermediateCache = true
+	refRes, err := s.Do(context.Background(), ref)
+	if err != nil {
+		t.Fatalf("cache-off run: %v", err)
+	}
+	if refRes.PlanCacheHit || refRes.IntermediateHits != 0 {
+		t.Fatalf("cache-off run consulted caches: %+v", refRes)
+	}
+
+	// First cached run: populates both caches.
+	warm1, err := s.Do(context.Background(), q)
+	if err != nil {
+		t.Fatalf("first cached run: %v", err)
+	}
+	if warm1.PlanCacheHit {
+		t.Error("first cached run reported a plan-cache hit on an empty cache")
+	}
+	// Second cached run: everything should hit.
+	warm2, err := s.Do(context.Background(), q)
+	if err != nil {
+		t.Fatalf("second cached run: %v", err)
+	}
+	if !warm2.PlanCacheHit {
+		t.Error("second run missed the plan cache")
+	}
+	if warm2.IntermediateHits == 0 {
+		t.Error("second run got no intermediate-cache hits (DFP has LSE intermediates)")
+	}
+	bitwiseEqualValues(t, refRes.Values, warm1.Values)
+	bitwiseEqualValues(t, refRes.Values, warm2.Values)
+}
+
+// TestPlanCacheWarmCompileFaster checks the acceptance criterion that a
+// plan-cache hit costs at least 10x less than a cold compilation.
+func TestPlanCacheWarmCompileFaster(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	q := testQuery(t, algorithms.DFP, "cri2", 5)
+	cold, err := s.Do(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.PlanCacheHit {
+		t.Fatal("cold run hit the plan cache")
+	}
+	// Best warm lookup of several, to keep scheduler noise out of the
+	// ratio; the cold compile runs the full block-wise search so the gap
+	// is orders of magnitude.
+	warm := math.Inf(1)
+	for i := 0; i < 3; i++ {
+		res, err := s.Do(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.PlanCacheHit {
+			t.Fatal("warm run missed the plan cache")
+		}
+		warm = math.Min(warm, res.CompileSec)
+	}
+	if warm*10 > cold.CompileSec {
+		t.Errorf("warm plan lookup %.6fs not >=10x cheaper than cold compile %.6fs", warm, cold.CompileSec)
+	}
+}
+
+// TestIntermediatesDoNotSurviveDatasetBump: after InvalidateDataset the
+// old intermediates must be unreachable (negative cache-correctness test).
+func TestIntermediatesDoNotSurviveDatasetBump(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	q := testQuery(t, algorithms.DFP, "cri1", 5)
+	if _, err := s.Do(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Do(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IntermediateHits == 0 {
+		t.Fatal("warm run got no intermediate hits; test cannot proceed")
+	}
+	s.InvalidateDataset("cri1")
+	if entries, _ := s.inter.usage(); entries != 0 {
+		t.Errorf("%d intermediate entries survived dataset invalidation", entries)
+	}
+	res, err = s.Do(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IntermediateHits != 0 {
+		t.Errorf("got %d intermediate hits across a dataset version bump", res.IntermediateHits)
+	}
+}
+
+// TestIntermediatesDoNotCrossClusterConfigs: values computed under one
+// simulated cluster must not serve a query under another (negative test).
+func TestIntermediatesDoNotCrossClusterConfigs(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	q := testQuery(t, algorithms.DFP, "cri1", 5)
+	if _, err := s.Do(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	other := q
+	other.Cluster = cluster.DefaultConfig()
+	other.Cluster.Nodes = 3
+	res, err := s.Do(context.Background(), other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlanCacheHit {
+		t.Error("plan compiled for one cluster served another")
+	}
+	if res.IntermediateHits != 0 {
+		t.Errorf("got %d intermediate hits across cluster configs", res.IntermediateHits)
+	}
+}
+
+// TestPlanCacheIgnoresFormatting: scripts differing only in whitespace and
+// comments share a plan.
+func TestPlanCacheIgnoresFormatting(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	q := testQuery(t, algorithms.GD, "cri1", 3)
+	if _, err := s.Do(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	reformatted := q
+	reformatted.Script = "# a comment\n" + q.Script + "\n\n"
+	res, err := s.Do(context.Background(), reformatted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PlanCacheHit {
+		t.Error("reformatted script missed the plan cache")
+	}
+}
+
+// TestOverloadAndCancel exercises admission-queue rejection and caller
+// cancellation deterministically against a server with no workers (so jobs
+// stay queued).
+func TestOverloadAndCancel(t *testing.T) {
+	s := &Server{
+		cfg:      Config{QueueDepth: 1}.withDefaults(),
+		queue:    make(chan *job, 1),
+		metrics:  newMetrics(),
+		versions: map[string]int64{},
+	}
+	q := testQuery(t, algorithms.GD, "cri1", 2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Do(ctx, q)
+		errc <- err
+	}()
+	// Wait until the first job occupies the queue.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(s.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.Do(context.Background(), q); !errors.Is(err, ErrOverloaded) {
+		t.Errorf("full queue: got %v, want ErrOverloaded", err)
+	}
+	snap := s.Metrics()
+	if snap.Rejected != 1 || snap.QueueDepth != 1 {
+		t.Errorf("metrics after rejection: rejected=%d queue=%d, want 1,1", snap.Rejected, snap.QueueDepth)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, engine.ErrCanceled) {
+		t.Errorf("canceled caller: got %v, want ErrCanceled", err)
+	}
+	s.mu.Lock()
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	if _, err := s.Do(context.Background(), q); !errors.Is(err, ErrClosed) {
+		t.Errorf("closed server: got %v, want ErrClosed", err)
+	}
+}
+
+// TestQueryTimeout: a query with an unreachable deadline fails with
+// ErrCanceled.
+func TestQueryTimeout(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	q := testQuery(t, algorithms.DFP, "cri2", 5)
+	q.Timeout = time.Nanosecond
+	if _, err := s.Do(context.Background(), q); !errors.Is(err, engine.ErrCanceled) {
+		t.Errorf("timed-out query: got %v, want ErrCanceled", err)
+	}
+	snap := s.Metrics()
+	if snap.Failed != 1 {
+		t.Errorf("failed count = %d, want 1", snap.Failed)
+	}
+}
+
+// TestGracefulShutdownUnderLoad drains in-flight queries and leaks no
+// goroutines.
+func TestGracefulShutdownUnderLoad(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := New(Config{Workers: 4, QueueDepth: 32})
+	q := testQuery(t, algorithms.GD, "cri1", 3)
+	const n = 12
+	errc := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			_, err := s.Do(context.Background(), q)
+			errc <- err
+		}()
+	}
+	// Let some submissions land, then shut down mid-stream.
+	time.Sleep(5 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		// Accepted queries complete; late ones fail fast with ErrClosed.
+		if err := <-errc; err != nil && !errors.Is(err, ErrClosed) && !errors.Is(err, ErrOverloaded) {
+			t.Errorf("query %d: %v", i, err)
+		}
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Errorf("second shutdown: %v", err)
+	}
+	// Workers must all have exited; poll since goroutine teardown is
+	// asynchronous.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after shutdown", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestConcurrentMixedWorkload runs a mixed workload at concurrency and
+// cross-checks every result against its sequential cache-free reference.
+func TestConcurrentMixedWorkload(t *testing.T) {
+	s := New(Config{Workers: 4, QueueDepth: 64})
+	defer s.Shutdown(context.Background())
+	queries := []Query{
+		testQuery(t, algorithms.GD, "cri1", 3),
+		testQuery(t, algorithms.DFP, "cri1", 4),
+		testQuery(t, algorithms.DFP, "cri2", 3),
+	}
+	// Sequential cache-free references.
+	refs := make([]map[string]*matrix.Matrix, len(queries))
+	for i, q := range queries {
+		q.NoPlanCache = true
+		q.NoIntermediateCache = true
+		res, err := s.Do(context.Background(), q)
+		if err != nil {
+			t.Fatalf("reference %d: %v", i, err)
+		}
+		refs[i] = res.Values
+	}
+	const rounds = 4
+	type out struct {
+		i   int
+		res *QueryResult
+		err error
+	}
+	outc := make(chan out, rounds*len(queries))
+	for r := 0; r < rounds; r++ {
+		for i, q := range queries {
+			go func(i int, q Query) {
+				res, err := s.Do(context.Background(), q)
+				outc <- out{i, res, err}
+			}(i, q)
+		}
+	}
+	for k := 0; k < rounds*len(queries); k++ {
+		o := <-outc
+		if o.err != nil {
+			t.Fatalf("query %d: %v", o.i, o.err)
+		}
+		bitwiseEqualValues(t, refs[o.i], o.res.Values)
+	}
+	snap := s.Metrics()
+	if snap.Completed != rounds*3+3 {
+		t.Errorf("completed = %d, want %d", snap.Completed, rounds*3+3)
+	}
+	if snap.PlanHits == 0 {
+		t.Error("no plan-cache hits across repeated identical queries")
+	}
+	if snap.LatencyP50Sec <= 0 || snap.LatencyP99Sec < snap.LatencyP50Sec {
+		t.Errorf("implausible latency percentiles: p50=%g p99=%g", snap.LatencyP50Sec, snap.LatencyP99Sec)
+	}
+}
+
+// TestStrategyDistinguishesPlans: the same script under different
+// strategies must not share a cached plan.
+func TestStrategyDistinguishesPlans(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	q := testQuery(t, algorithms.GD, "cri1", 3)
+	if _, err := s.Do(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	other := q
+	other.Strategy = opt.NoElimination
+	res, err := s.Do(context.Background(), other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlanCacheHit {
+		t.Error("plan cached under Adaptive served a NoElimination query")
+	}
+}

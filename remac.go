@@ -1,6 +1,7 @@
 package remac
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -393,14 +394,26 @@ type Report struct {
 
 // Run executes the compiled program on a fresh simulated cluster.
 func (p *Program) Run() (*Report, error) {
-	return p.run(nil, RunOptions{})
+	return p.run(context.Background(), nil, RunOptions{})
 }
 
 // RunWithOptions executes the program like Run, with fault injection and
 // recovery policy attached.
 func (p *Program) RunWithOptions(opts RunOptions) (*Report, error) {
-	return p.run(nil, opts)
+	return p.run(context.Background(), nil, opts)
 }
+
+// RunContext executes the program like RunWithOptions under a cancellation
+// context: when ctx is cancelled or its deadline passes, the run stops
+// promptly (within one kernel execution) and the returned error satisfies
+// errors.Is(err, ErrCanceled).
+func (p *Program) RunContext(ctx context.Context, opts RunOptions) (*Report, error) {
+	return p.run(ctx, nil, opts)
+}
+
+// ErrCanceled is returned (wrapped) by RunContext when the context ends
+// before the run completes.
+var ErrCanceled = engine.ErrCanceled
 
 // RunTraced executes the program like Run and additionally collects a
 // structured trace: one span per charged operator, grouped under
@@ -413,19 +426,19 @@ func (p *Program) RunTraced() (*Report, *RunTrace, error) {
 // policy attached; retries and recoveries appear as fault spans.
 func (p *Program) RunTracedWithOptions(opts RunOptions) (*Report, *RunTrace, error) {
 	rec := trace.New()
-	rep, err := p.run(rec, opts)
+	rep, err := p.run(context.Background(), rec, opts)
 	if err != nil {
 		return nil, nil, err
 	}
 	return rep, &RunTrace{rec: rec}, nil
 }
 
-func (p *Program) run(rec *trace.Recorder, opts RunOptions) (*Report, error) {
+func (p *Program) run(ctx context.Context, rec *trace.Recorder, opts RunOptions) (*Report, error) {
 	ins := map[string]engine.Input{}
 	for name, in := range p.inputs {
 		ins[name] = engine.Input{Data: in.Data.m, VRows: in.VirtualRows, VCols: in.VirtualCols}
 	}
-	res, err := engine.RunWithOptions(p.compiled, ins, rec, engine.RunOptions{
+	res, err := engine.RunWithOptions(ctx, p.compiled, ins, rec, engine.RunOptions{
 		Faults:     opts.Faults.internal(p.compiled.Config.Cluster.Workers()),
 		Checkpoint: opts.Checkpoint,
 		MaxIter:    opts.MaxIterations,
