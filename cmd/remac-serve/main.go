@@ -17,9 +17,19 @@
 //	              "conservative", "aggressive", "automatic"),
 //	              "timeout_ms", "no_plan_cache", "no_intermediate_cache".
 //	GET  /stats   aggregate metrics snapshot (QPS, latency percentiles,
-//	              cache hit rates, queue depth) as JSON.
+//	              cache hit rates, queue depth, resilience counters) as JSON.
+//	GET  /healthz liveness probe: 200 while the process and pool are up.
+//	GET  /readyz  readiness probe: 200 when admitting, 503 (+Retry-After)
+//	              while draining, breaker-open, or queue-saturated.
 //	POST /invalidate?dataset=cri2  bump a dataset version, dropping its
 //	              cached intermediates.
+//
+// Query failures map to distinct statuses by resilience class: 400 for
+// compile errors, 422 for divergent loops (max iterations), 503 with a
+// Retry-After header for overload/shed/draining, 504 for canceled or
+// timed-out queries, and 500 only for execution failures and recovered
+// panics. Error bodies are structured JSON ({"error", "class", "query_id",
+// "stage", "retry_after_sec"}).
 //
 // SIGINT/SIGTERM stop admission, drain in-flight queries, then exit.
 package main
@@ -42,6 +52,7 @@ import (
 	"remac/internal/data"
 	"remac/internal/engine"
 	"remac/internal/opt"
+	"remac/internal/resilience"
 	"remac/internal/serve"
 )
 
@@ -53,6 +64,9 @@ type queryRequest struct {
 	Iterations int    `json:"iterations,omitempty"`
 	Strategy   string `json:"strategy,omitempty"`
 	TimeoutMS  int    `json:"timeout_ms,omitempty"`
+	// MaxIterations caps loop iterations; a program still running at the
+	// cap fails with 422 (max-iterations class).
+	MaxIterations int `json:"max_iterations,omitempty"`
 
 	NoPlanCache         bool `json:"no_plan_cache,omitempty"`
 	NoIntermediateCache bool `json:"no_intermediate_cache,omitempty"`
@@ -170,6 +184,7 @@ func (h *handler) buildQuery(req queryRequest) (serve.Query, error) {
 		return q, err
 	}
 	q.Timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	q.MaxIterations = req.MaxIterations
 	q.NoPlanCache = req.NoPlanCache
 	q.NoIntermediateCache = req.NoIntermediateCache
 	return q, nil
@@ -191,18 +206,8 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := h.srv.Do(r.Context(), q)
-	switch {
-	case errors.Is(err, serve.ErrOverloaded):
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		return
-	case errors.Is(err, serve.ErrClosed):
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		return
-	case errors.Is(err, engine.ErrCanceled):
-		http.Error(w, err.Error(), http.StatusGatewayTimeout)
-		return
-	case err != nil:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	if err != nil {
+		writeError(w, err)
 		return
 	}
 	resp := queryResponse{
@@ -222,6 +227,100 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 		resp.Values[name] = valueSummary{Rows: m.Rows(), Cols: m.Cols(), Frobenius: m.FrobeniusNorm()}
 	}
 	writeJSON(w, resp)
+}
+
+// errorResponse is the structured JSON body of a failed query.
+type errorResponse struct {
+	Error         string  `json:"error"`
+	Class         string  `json:"class,omitempty"`
+	QueryID       uint64  `json:"query_id,omitempty"`
+	Stage         string  `json:"stage,omitempty"`
+	RetryAfterSec float64 `json:"retry_after_sec,omitempty"`
+}
+
+// writeError maps a serving failure to its HTTP status via the resilience
+// taxonomy: 400 compile, 422 max-iterations, 503 overload/closed (with
+// Retry-After), 504 canceled, 500 execution/internal.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	body := errorResponse{Error: err.Error()}
+	retryAfter := time.Duration(0)
+	var qe *resilience.QueryError
+	switch {
+	case errors.As(err, &qe):
+		status = qe.Class.HTTPStatus()
+		body.Class = qe.Class.String()
+		body.QueryID = qe.QueryID
+		body.Stage = qe.Stage
+		retryAfter = qe.RetryAfter
+		if qe.Class == resilience.Overloaded && retryAfter <= 0 {
+			retryAfter = time.Second
+		}
+	case errors.Is(err, serve.ErrClosed):
+		// Draining: tell clients to find another instance shortly.
+		status = http.StatusServiceUnavailable
+		body.Class = "closed"
+		retryAfter = time.Second
+	case errors.Is(err, serve.ErrOverloaded):
+		status = http.StatusServiceUnavailable
+		body.Class = resilience.Overloaded.String()
+		retryAfter = time.Second
+	case errors.Is(err, engine.ErrCanceled):
+		status = http.StatusGatewayTimeout
+		body.Class = resilience.Canceled.String()
+	case errors.Is(err, engine.ErrMaxIterations):
+		status = http.StatusUnprocessableEntity
+		body.Class = resilience.MaxIterations.String()
+	}
+	if retryAfter > 0 {
+		secs := int(retryAfter.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		body.RetryAfterSec = retryAfter.Seconds()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(body); err != nil {
+		log.Printf("encode error response: %v", err)
+	}
+}
+
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, h.srv.Healthz())
+}
+
+func (h *handler) readyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	hz := h.srv.Readyz()
+	if !hz.OK {
+		if hz.RetryAfterSec > 0 {
+			secs := int(hz.RetryAfterSec)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(hz); err != nil {
+			log.Printf("encode readyz: %v", err)
+		}
+		return
+	}
+	writeJSON(w, hz)
 }
 
 func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
@@ -262,6 +361,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "default per-query deadline (0: none)")
 	planEntries := flag.Int("plan-cache", 128, "compiled-plan cache entries (negative: disabled)")
 	interBudget := flag.Int64("inter-budget", 4<<30, "intermediate cache budget in modelled bytes (negative: disabled)")
+	retries := flag.Int("retries", 0, "max execution attempts per query (0: default 3, negative: no retries)")
+	hedge := flag.Bool("hedge", false, "hedge straggler queries past the p95 latency")
+	noBreaker := flag.Bool("no-breaker", false, "disable the admission circuit breaker / load shedder")
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
@@ -270,11 +372,16 @@ func main() {
 		DefaultTimeout:          *timeout,
 		PlanCacheEntries:        *planEntries,
 		IntermediateBudgetBytes: *interBudget,
+		Retry:                   resilience.RetryPolicy{MaxAttempts: *retries},
+		Hedge:                   resilience.HedgePolicy{Enabled: *hedge},
+		NoBreaker:               *noBreaker,
 	})
 	h := &handler{srv: srv, data: map[string]*data.Dataset{}}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", h.query)
 	mux.HandleFunc("/stats", h.stats)
+	mux.HandleFunc("/healthz", h.healthz)
+	mux.HandleFunc("/readyz", h.readyz)
 	mux.HandleFunc("/invalidate", h.invalidate)
 	httpSrv := &http.Server{Addr: *addr, Handler: mux}
 

@@ -100,6 +100,39 @@ type Config struct {
 	Workers int
 }
 
+// DeriveSeed maps a root seed and a query index to an independent
+// sub-stream seed via a SplitMix64-style mix of seed ⊕ index. Concurrent
+// runs sharing a root seed each draw from their own deterministic stream,
+// so a chaos storm's fault schedules depend only on (root seed, query
+// index) — never on goroutine scheduling order.
+func DeriveSeed(seed int64, index int) int64 {
+	x := uint64(seed) ^ (uint64(index)+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
+}
+
+// Derive returns the config reseeded for the index-th member of a family
+// of concurrent runs (see DeriveSeed). Rates and factors are unchanged.
+func (c Config) Derive(index int) Config {
+	c.Seed = DeriveSeed(c.Seed, index)
+	return c
+}
+
+// Derive returns an independent per-query plan: rate-based plans are
+// rebuilt on the derived seed; explicit-event plans replay the same
+// authored schedule for every query (the author pinned exact times, so
+// there is nothing to decorrelate). Nil-safe.
+func (p *Plan) Derive(index int) *Plan {
+	if p == nil || p.events != nil {
+		return p
+	}
+	return NewPlan(p.cfg.Derive(index))
+}
+
 // Plan is an immutable fault schedule: rate streams or an explicit event
 // list. A nil plan means a perfect cluster.
 type Plan struct {

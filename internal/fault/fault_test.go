@@ -142,3 +142,71 @@ func TestBackoffBaseDefaults(t *testing.T) {
 		t.Fatal("configured backoff not honored")
 	}
 }
+
+// TestDeriveSubStreams: derived plans are deterministic per index,
+// decorrelated across indices, and independent of replay interleaving.
+func TestDeriveSubStreams(t *testing.T) {
+	root := NewPlan(Config{
+		Seed:                  41,
+		WorkerFailuresPerHour: 60,
+		TransmitErrorsPerHour: 60,
+		StragglersPerHour:     60,
+		Workers:               4,
+	})
+	schedule := func(p *Plan) []Event {
+		return p.NewInjector().Advance(0, 7200)
+	}
+	// Same index twice → identical schedule.
+	if !reflect.DeepEqual(schedule(root.Derive(3)), schedule(root.Derive(3))) {
+		t.Fatal("Derive(3) not deterministic")
+	}
+	// Distinct indices → distinct schedules (decorrelated sub-streams).
+	a, b := schedule(root.Derive(0)), schedule(root.Derive(1))
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("Derive(0) and Derive(1) produced identical schedules")
+	}
+	// Index 0 is not the root stream: queries never share the root's draws.
+	if reflect.DeepEqual(schedule(root), a) {
+		t.Fatal("Derive(0) aliases the root stream")
+	}
+	// Derivation order must not matter — only (seed, index) does.
+	before := schedule(root.Derive(5))
+	for i := 0; i < 100; i++ {
+		root.Derive(i)
+	}
+	if !reflect.DeepEqual(before, schedule(root.Derive(5))) {
+		t.Fatal("Derive(5) changed after unrelated derivations")
+	}
+}
+
+// TestDeriveSeedSpread: nearby (seed, index) pairs land far apart, so
+// sequential query indices don't produce correlated fault streams.
+func TestDeriveSeedSpread(t *testing.T) {
+	seen := map[int64]bool{}
+	for seed := int64(0); seed < 4; seed++ {
+		for idx := 0; idx < 256; idx++ {
+			s := DeriveSeed(seed, idx)
+			if seen[s] {
+				t.Fatalf("collision at seed=%d idx=%d", seed, idx)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestDeriveEdgeCases: nil plans and explicit-event plans pass through
+// Derive unchanged.
+func TestDeriveEdgeCases(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.Derive(2) != nil {
+		t.Fatal("nil plan derived into something")
+	}
+	explicit := FromEvents(Event{At: 5, Kind: Straggler})
+	if explicit.Derive(2) != explicit {
+		t.Fatal("explicit-event plan was rebuilt by Derive")
+	}
+	cfg := Config{Seed: 1, WorkerFailuresPerHour: 10}
+	if NewPlan(cfg).Derive(0).cfg.Seed != DeriveSeed(1, 0) {
+		t.Fatal("derived plan seed mismatch")
+	}
+}

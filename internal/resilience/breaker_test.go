@@ -1,0 +1,235 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable breaker clock tests advance by hand.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1700000000, 0)} }
+func testBreaker(clk *fakeClock, cfg BreakerConfig) *Breaker {
+	cfg.Now = clk.now
+	return NewBreaker(cfg)
+}
+
+// TestBreakerTripRecoverCycle drives the full closed → open → half-open →
+// closed cycle and checks states, admission verdicts, Retry-After hints and
+// transition counters at each step.
+func TestBreakerTripRecoverCycle(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, BreakerConfig{
+		Window: 8, MinSamples: 4, FailureThreshold: 0.5,
+		Cooldown: time.Second, HalfOpenProbes: 2,
+	})
+
+	if b.State() != BreakerClosed {
+		t.Fatalf("initial state = %v", b.State())
+	}
+	// Under MinSamples the breaker must not trip even at a 100% failure rate.
+	for i := 0; i < 3; i++ {
+		b.Record(false)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("tripped below MinSamples")
+	}
+	// The fourth failure crosses MinSamples with rate 1.0 ≥ 0.5: open.
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after threshold = %v, want open", b.State())
+	}
+	if c := b.Counters(); c.Opened != 1 {
+		t.Fatalf("Opened = %d, want 1", c.Opened)
+	}
+
+	// Open: everything rejected, Retry-After counts down with the clock.
+	ok, ra := b.Admit(0, 16)
+	if ok {
+		t.Fatal("open breaker admitted a query")
+	}
+	if ra != time.Second {
+		t.Fatalf("Retry-After = %v, want full cooldown", ra)
+	}
+	clk.advance(600 * time.Millisecond)
+	if _, ra = b.Admit(0, 16); ra != 400*time.Millisecond {
+		t.Fatalf("Retry-After after 600ms = %v, want 400ms", ra)
+	}
+
+	// Cooldown elapses: half-open, with a probe budget of 2.
+	clk.advance(400 * time.Millisecond)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", b.State())
+	}
+	if c := b.Counters(); c.HalfOpened != 1 {
+		t.Fatalf("HalfOpened = %d, want 1", c.HalfOpened)
+	}
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Admit(0, 16); !ok {
+			t.Fatalf("half-open rejected probe %d", i)
+		}
+	}
+	if ok, _ := b.Admit(0, 16); ok {
+		t.Fatal("half-open admitted past probe budget")
+	}
+
+	// Both probes succeed: closed again, with a fresh outcome window.
+	b.Record(true)
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after probe successes = %v, want closed", b.State())
+	}
+	if c := b.Counters(); c.Closed != 1 {
+		t.Fatalf("Closed = %d, want 1", c.Closed)
+	}
+	if r := b.FailureRate(); r != 0 {
+		t.Fatalf("failure window not reset: rate = %v", r)
+	}
+}
+
+// TestBreakerHalfOpenFailureReopens: one failed probe sends it straight
+// back to open for another full cooldown.
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, BreakerConfig{
+		Window: 8, MinSamples: 2, FailureThreshold: 0.5,
+		Cooldown: time.Second, HalfOpenProbes: 2,
+	})
+	b.Record(false)
+	b.Record(false)
+	clk.advance(time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	b.Admit(0, 16)
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if c := b.Counters(); c.Opened != 2 {
+		t.Fatalf("Opened = %d, want 2", c.Opened)
+	}
+	// The re-open restarts the cooldown from the failure's timestamp.
+	if ok, _ := b.Admit(0, 16); ok {
+		t.Fatal("re-opened breaker admitted a query")
+	}
+}
+
+// TestBreakerForgiveReleasesProbeSlot: a canceled probe must hand its
+// half-open slot back without counting as an outcome.
+func TestBreakerForgiveReleasesProbeSlot(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, BreakerConfig{
+		Window: 8, MinSamples: 2, FailureThreshold: 0.5,
+		Cooldown: time.Second, HalfOpenProbes: 1,
+	})
+	b.Record(false)
+	b.Record(false)
+	clk.advance(time.Second)
+	if ok, _ := b.Admit(0, 16); !ok {
+		t.Fatal("half-open rejected the only probe")
+	}
+	if ok, _ := b.Admit(0, 16); ok {
+		t.Fatal("probe budget of 1 admitted twice")
+	}
+	b.Forgive()
+	if ok, _ := b.Admit(0, 16); !ok {
+		t.Fatal("Forgive did not release the probe slot")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open (Forgive is not an outcome)", b.State())
+	}
+}
+
+// TestBreakerAdaptiveShedding: while still closed, a rising failure rate
+// shrinks the effective queue; a clean window restores full capacity.
+func TestBreakerAdaptiveShedding(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, BreakerConfig{
+		Window: 16, MinSamples: 8, FailureThreshold: 0.9,
+		Cooldown: time.Second, HalfOpenProbes: 1,
+	})
+	// 4 failures in 16 → rate 0.25 → effective limit 16-4 = 12 of 16.
+	for i := 0; i < 4; i++ {
+		b.Record(false)
+	}
+	for i := 0; i < 12; i++ {
+		b.Record(true)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v, want closed (rate under threshold)", b.State())
+	}
+	if ok, _ := b.Admit(11, 16); !ok {
+		t.Fatal("shed below the effective limit")
+	}
+	ok, ra := b.Admit(12, 16)
+	if ok {
+		t.Fatal("admitted at the shrunken limit")
+	}
+	if ra <= 0 {
+		t.Fatal("shed rejection carried no Retry-After hint")
+	}
+	if c := b.Counters(); c.Shed == 0 {
+		t.Fatal("Shed counter not incremented")
+	}
+	// A full queue is the caller's hard-overload path, not a breaker shed.
+	shedBefore := b.Counters().Shed
+	if ok, _ := b.Admit(16, 16); !ok {
+		t.Fatal("breaker claimed a full queue (caller's path)")
+	}
+	if b.Counters().Shed != shedBefore {
+		t.Fatal("full queue wrongly counted as a breaker shed")
+	}
+	// Wash the failures out of the window: full capacity again.
+	for i := 0; i < 16; i++ {
+		b.Record(true)
+	}
+	if ok, _ := b.Admit(15, 16); !ok {
+		t.Fatal("clean window still shedding")
+	}
+}
+
+// TestBreakerStaleOutcomeWhileOpen: results settling after the trip are
+// ignored rather than corrupting the next half-open round.
+func TestBreakerStaleOutcomeWhileOpen(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, BreakerConfig{
+		Window: 8, MinSamples: 2, FailureThreshold: 0.5,
+		Cooldown: time.Second, HalfOpenProbes: 1,
+	})
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatal("did not open")
+	}
+	b.Record(true) // straggler from before the trip
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatal("stale outcome moved the state")
+	}
+	if c := b.Counters(); c.Opened != 1 {
+		t.Fatalf("Opened = %d, want 1", c.Opened)
+	}
+}
+
+// TestNilBreaker: every method on a nil breaker is a safe no-op that admits
+// everything — this is how serve disables the breaker.
+func TestNilBreaker(t *testing.T) {
+	var b *Breaker
+	if ok, ra := b.Admit(100, 1); !ok || ra != 0 {
+		t.Fatal("nil breaker rejected")
+	}
+	b.Record(false)
+	b.Forgive()
+	if b.State() != BreakerClosed {
+		t.Fatal("nil breaker not closed")
+	}
+	if b.FailureRate() != 0 {
+		t.Fatal("nil breaker failure rate != 0")
+	}
+	if b.Counters() != (BreakerCounters{}) {
+		t.Fatal("nil breaker counters != zero")
+	}
+}

@@ -1,0 +1,47 @@
+package resilience
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// maxStackLines bounds a redacted stack: enough frames to locate the
+// defect, small enough to ship in an error payload.
+const maxStackLines = 24
+
+var hexAddr = regexp.MustCompile(`0x[0-9a-fA-F]+`)
+
+// RedactStack trims a debug.Stack dump for inclusion in a QueryError: the
+// goroutine header goes, hex addresses (pointers, frame offsets, argument
+// values) are scrubbed to "0x…" so no heap contents leak into logs or HTTP
+// bodies, and the frame count is capped.
+func RedactStack(stack []byte) string {
+	lines := strings.Split(strings.TrimRight(string(stack), "\n"), "\n")
+	out := make([]string, 0, maxStackLines)
+	for _, line := range lines {
+		if strings.HasPrefix(line, "goroutine ") {
+			continue
+		}
+		out = append(out, hexAddr.ReplaceAllString(line, "0x…"))
+		if len(out) == maxStackLines {
+			out = append(out, "\t…")
+			break
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// PanicError converts a recovered panic value and its stack into an
+// Internal-class QueryError. The worker pool calls it from its per-query
+// recover so one poisonous query degrades into a structured error instead
+// of a process crash.
+func PanicError(queryID uint64, stage string, value any, stack []byte) *QueryError {
+	return &QueryError{
+		Class:   Internal,
+		QueryID: queryID,
+		Stage:   stage,
+		Err:     fmt.Errorf("panic: %v", value),
+		Stack:   RedactStack(stack),
+	}
+}

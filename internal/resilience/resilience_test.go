@@ -1,0 +1,158 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestQueryErrorTaxonomy: every class matches its sentinel via errors.Is,
+// the wrapped cause keeps matching, and errors.As recovers the fields.
+func TestQueryErrorTaxonomy(t *testing.T) {
+	cause := errors.New("root cause")
+	classes := []Class{Internal, Overloaded, Canceled, Compile, Execution, MaxIterations}
+	for _, c := range classes {
+		err := fmt.Errorf("wrapped: %w", &QueryError{Class: c, QueryID: 7, Stage: "execute", Err: cause})
+		if !errors.Is(err, c.Sentinel()) {
+			t.Errorf("%v: errors.Is against own sentinel failed", c)
+		}
+		for _, other := range classes {
+			if other != c && errors.Is(err, other.Sentinel()) {
+				t.Errorf("%v matched %v's sentinel", c, other)
+			}
+		}
+		if !errors.Is(err, cause) {
+			t.Errorf("%v: wrapped cause no longer matches", c)
+		}
+		var qe *QueryError
+		if !errors.As(err, &qe) || qe.QueryID != 7 || qe.Stage != "execute" {
+			t.Errorf("%v: errors.As lost fields: %+v", c, qe)
+		}
+		if got, ok := ClassOf(err); !ok || got != c {
+			t.Errorf("ClassOf = %v,%v, want %v,true", got, ok, c)
+		}
+	}
+	if _, ok := ClassOf(errors.New("plain")); ok {
+		t.Error("ClassOf claimed a plain error carried a class")
+	}
+}
+
+// TestHTTPStatusMapping pins the class → status contract cmd/remac-serve
+// relies on: only internal/execution collapse to 500.
+func TestHTTPStatusMapping(t *testing.T) {
+	want := map[Class]int{
+		Internal:      http.StatusInternalServerError,
+		Execution:     http.StatusInternalServerError,
+		Overloaded:    http.StatusServiceUnavailable,
+		Canceled:      http.StatusGatewayTimeout,
+		Compile:       http.StatusBadRequest,
+		MaxIterations: http.StatusUnprocessableEntity,
+	}
+	for c, status := range want {
+		if got := c.HTTPStatus(); got != status {
+			t.Errorf("%v.HTTPStatus() = %d, want %d", c, got, status)
+		}
+	}
+}
+
+// TestTransientMarking: MarkTransient survives wrapping, and a QueryError's
+// Transient flag is honored.
+func TestTransientMarking(t *testing.T) {
+	err := fmt.Errorf("attempt: %w", MarkTransient(errors.New("flaky")))
+	if !IsTransient(err) {
+		t.Error("wrapped MarkTransient not detected")
+	}
+	if IsTransient(errors.New("solid")) {
+		t.Error("plain error reported transient")
+	}
+	if !IsTransient(&QueryError{Class: Execution, Transient: true, Err: errors.New("x")}) {
+		t.Error("QueryError.Transient not honored")
+	}
+	if MarkTransient(nil) != nil {
+		t.Error("MarkTransient(nil) != nil")
+	}
+}
+
+// TestBackoffDeterministicCappedJittered: equal (seed, id, attempt) give
+// equal delays; delays grow exponentially, stay within [0.5, 1.0)× the
+// capped base, and differ across query ids.
+func TestBackoffDeterministicCappedJittered(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, Seed: 3}
+	for attempt := 1; attempt <= 6; attempt++ {
+		d1 := p.Backoff(42, attempt)
+		d2 := p.Backoff(42, attempt)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: nondeterministic backoff %v vs %v", attempt, d1, d2)
+		}
+		base := 10 * time.Millisecond << (attempt - 1)
+		if base > 80*time.Millisecond {
+			base = 80 * time.Millisecond
+		}
+		if d1 < base/2 || d1 >= base {
+			t.Errorf("attempt %d: %v outside [%v, %v)", attempt, d1, base/2, base)
+		}
+	}
+	if p.Backoff(1, 1) == p.Backoff(2, 1) {
+		t.Error("different query ids drew identical jitter")
+	}
+	other := p
+	other.Seed = 4
+	if p.Backoff(42, 1) == other.Backoff(42, 1) {
+		t.Error("different seeds drew identical jitter")
+	}
+}
+
+// TestRetryPolicyDefaults: zero value fills in, negative MaxAttempts means
+// one attempt.
+func TestRetryPolicyDefaults(t *testing.T) {
+	p := RetryPolicy{}.WithDefaults()
+	if p.MaxAttempts != 3 || p.BaseBackoff != 10*time.Millisecond || p.MaxBackoff != time.Second || p.Budget != 2*time.Second {
+		t.Errorf("unexpected defaults: %+v", p)
+	}
+	if got := (RetryPolicy{MaxAttempts: -1}).WithDefaults().MaxAttempts; got != 1 {
+		t.Errorf("negative MaxAttempts → %d, want 1", got)
+	}
+}
+
+// TestHedgeDelay: disabled or signal-less policies never hedge; enabled
+// ones scale the quantile and respect the floor.
+func TestHedgeDelay(t *testing.T) {
+	if d := (HedgePolicy{}).Delay(0.5); d != 0 {
+		t.Errorf("disabled hedge produced delay %v", d)
+	}
+	h := HedgePolicy{Enabled: true}
+	if d := h.Delay(0); d != 0 {
+		t.Errorf("no latency signal produced delay %v", d)
+	}
+	if d := h.Delay(0.1); d != 200*time.Millisecond {
+		t.Errorf("Delay(0.1) = %v, want 200ms (2x multiplier)", d)
+	}
+	if d := h.Delay(1e-6); d != h.WithDefaults().MinDelay {
+		t.Errorf("tiny quantile delay = %v, want floor %v", d, h.WithDefaults().MinDelay)
+	}
+}
+
+// TestRedactStack: headers gone, addresses scrubbed, frames capped.
+func TestRedactStack(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("goroutine 17 [running]:\n")
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&b, "pkg.fn%d(0xc000123456, 0x1f)\n\t/src/file%d.go:%d +0x45\n", i, i, i+10)
+	}
+	got := RedactStack([]byte(b.String()))
+	if strings.Contains(got, "[running]") {
+		t.Error("goroutine header survived redaction")
+	}
+	if strings.Contains(got, "0xc000123456") || strings.Contains(got, "+0x45") {
+		t.Errorf("addresses survived redaction: %q", got)
+	}
+	if !strings.Contains(got, "pkg.fn0") {
+		t.Error("function names lost")
+	}
+	if n := strings.Count(got, "\n"); n > maxStackLines+1 {
+		t.Errorf("redacted stack has %d lines, want ≤ %d", n, maxStackLines+1)
+	}
+}

@@ -1,9 +1,13 @@
 package serve
 
 import (
+	"errors"
 	"sort"
 	"sync"
 	"time"
+
+	"remac/internal/engine"
+	"remac/internal/resilience"
 )
 
 // latencyWindow bounds the sliding window percentiles are computed over.
@@ -16,12 +20,20 @@ type metrics struct {
 	start     time.Time
 	completed uint64
 	failed    uint64
+	canceledN uint64
 	rejectedN uint64
+	shedN     uint64
 	queued    int
 	inflight  int
 
 	planHits, planMisses   uint64
 	interHits, interMisses uint64
+
+	panics   uint64
+	respawns uint64
+	retries  uint64
+	hedges   uint64
+	hedgeWin uint64
 
 	lat     [latencyWindow]float64
 	latIdx  int
@@ -44,6 +56,12 @@ func (m *metrics) rejected() {
 	m.mu.Unlock()
 }
 
+func (m *metrics) shed() {
+	m.mu.Lock()
+	m.shedN++
+	m.mu.Unlock()
+}
+
 func (m *metrics) dequeued() {
 	m.mu.Lock()
 	m.queued--
@@ -52,12 +70,14 @@ func (m *metrics) dequeued() {
 }
 
 // finished records one settled query: its wall latency and outcome.
+// Canceled queries — whether they expired in the queue or mid-run — are
+// counted apart from genuine failures, and neither feeds the latency
+// window.
 func (m *metrics) finished(latencySec float64, err error) {
 	m.mu.Lock()
 	m.inflight--
-	if err != nil {
-		m.failed++
-	} else {
+	switch {
+	case err == nil:
 		m.completed++
 		m.lat[m.latIdx] = latencySec
 		m.latIdx++
@@ -65,6 +85,10 @@ func (m *metrics) finished(latencySec float64, err error) {
 			m.latIdx = 0
 			m.latFull = true
 		}
+	case resilience.IsClass(err, resilience.Canceled) || errors.Is(err, engine.ErrCanceled):
+		m.canceledN++
+	default:
+		m.failed++
 	}
 	m.mu.Unlock()
 }
@@ -88,13 +112,63 @@ func (m *metrics) interCounts(hits, misses int) {
 	m.mu.Unlock()
 }
 
+func (m *metrics) panicRecovered() {
+	m.mu.Lock()
+	m.panics++
+	m.mu.Unlock()
+}
+
+func (m *metrics) workerRespawn() {
+	m.mu.Lock()
+	m.respawns++
+	m.mu.Unlock()
+}
+
+func (m *metrics) retried() {
+	m.mu.Lock()
+	m.retries++
+	m.mu.Unlock()
+}
+
+func (m *metrics) hedged() {
+	m.mu.Lock()
+	m.hedges++
+	m.mu.Unlock()
+}
+
+func (m *metrics) hedgeWon() {
+	m.mu.Lock()
+	m.hedgeWin++
+	m.mu.Unlock()
+}
+
+// latencyQuantile reads a percentile of the current window without
+// snapshotting everything (the hedge trigger calls it per query).
+func (m *metrics) latencyQuantile(p float64) float64 {
+	m.mu.Lock()
+	n := m.latIdx
+	if m.latFull {
+		n = latencyWindow
+	}
+	window := make([]float64, n)
+	copy(window, m.lat[:n])
+	m.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	sort.Float64s(window)
+	return percentile(window, p)
+}
+
 // Snapshot is a point-in-time view of the server's aggregate metrics,
 // JSON-serializable for cmd/remac-serve's /stats endpoint.
 type Snapshot struct {
 	UptimeSec float64 `json:"uptime_sec"`
 	Completed uint64  `json:"completed"`
 	Failed    uint64  `json:"failed"`
+	Canceled  uint64  `json:"canceled"`
 	Rejected  uint64  `json:"rejected"`
+	Shed      uint64  `json:"shed"`
 	// QPS is completed queries per second of uptime.
 	QPS float64 `json:"qps"`
 	// Latency percentiles over the last completed queries (seconds).
@@ -115,22 +189,38 @@ type Snapshot struct {
 
 	QueueDepth int `json:"queue_depth"`
 	InFlight   int `json:"in_flight"`
+
+	// Resilience counters.
+	PanicsRecovered uint64                     `json:"panics_recovered"`
+	WorkerRespawns  uint64                     `json:"worker_respawns"`
+	Retries         uint64                     `json:"retries"`
+	Hedges          uint64                     `json:"hedges"`
+	HedgesWon       uint64                     `json:"hedges_won"`
+	BreakerState    string                     `json:"breaker_state"`
+	Breaker         resilience.BreakerCounters `json:"breaker"`
 }
 
 func (m *metrics) snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
-		UptimeSec:   time.Since(m.start).Seconds(),
-		Completed:   m.completed,
-		Failed:      m.failed,
-		Rejected:    m.rejectedN,
-		PlanHits:    m.planHits,
-		PlanMisses:  m.planMisses,
-		InterHits:   m.interHits,
-		InterMisses: m.interMisses,
-		QueueDepth:  m.queued,
-		InFlight:    m.inflight,
+		UptimeSec:       time.Since(m.start).Seconds(),
+		Completed:       m.completed,
+		Failed:          m.failed,
+		Canceled:        m.canceledN,
+		Rejected:        m.rejectedN,
+		Shed:            m.shedN,
+		PlanHits:        m.planHits,
+		PlanMisses:      m.planMisses,
+		InterHits:       m.interHits,
+		InterMisses:     m.interMisses,
+		QueueDepth:      m.queued,
+		InFlight:        m.inflight,
+		PanicsRecovered: m.panics,
+		WorkerRespawns:  m.respawns,
+		Retries:         m.retries,
+		Hedges:          m.hedges,
+		HedgesWon:       m.hedgeWin,
 	}
 	if s.UptimeSec > 0 {
 		s.QPS = float64(s.Completed) / s.UptimeSec

@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"remac/internal/algorithms"
+	"remac/internal/resilience"
+)
+
+// TestMetricsQuantileConcurrent hammers finished() from many goroutines
+// while readers pull quantiles, then checks the window's contents are
+// coherent: counters exact, quantiles inside the fed value range and
+// monotone in p. Run under -race this also proves the locking.
+func TestMetricsQuantileConcurrent(t *testing.T) {
+	m := newMetrics()
+	const (
+		writers      = 8
+		perWriter    = 400 // 3200 total: forces ring wraparound past 1024
+		loVal, hiVal = 0.001, 0.010
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent readers: quantiles must stay within the fed range at every
+	// intermediate point, not just at the end.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if q := m.latencyQuantile(0.95); q != 0 && (q < loVal || q > hiVal) {
+					t.Errorf("mid-run p95 %g outside fed range [%g, %g]", q, loVal, hiVal)
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				m.dequeued()
+				// Latencies sweep the [loVal, hiVal] range deterministically.
+				lat := loVal + (hiVal-loVal)*float64(i)/float64(perWriter)
+				switch i % 8 {
+				case 6: // canceled outcome: no latency sample
+					m.finished(lat, &resilience.QueryError{Class: resilience.Canceled, Err: context.Canceled})
+				case 7: // failed outcome: no latency sample
+					m.finished(lat, &resilience.QueryError{Class: resilience.Execution, Err: errors.New("boom")})
+				default:
+					m.finished(lat, nil)
+				}
+			}
+		}(w)
+	}
+	// Wait for writers (the first 8+2 Adds minus the 2 readers).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	// Stop readers once writers are done: writers finish, then signal.
+	go func() {
+		for {
+			m.mu.Lock()
+			total := m.completed + m.failed + m.canceledN
+			m.mu.Unlock()
+			if total == writers*perWriter {
+				close(stop)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	<-done
+
+	snap := m.snapshot()
+	wantOK := uint64(writers * perWriter * 6 / 8)
+	wantCanceled := uint64(writers * perWriter / 8)
+	if snap.Completed != wantOK || snap.Canceled != wantCanceled || snap.Failed != wantCanceled {
+		t.Fatalf("counters = ok %d / canceled %d / failed %d, want %d / %d / %d",
+			snap.Completed, snap.Canceled, snap.Failed, wantOK, wantCanceled, wantCanceled)
+	}
+	if snap.InFlight != 0 {
+		t.Fatalf("in-flight = %d after everything settled", snap.InFlight)
+	}
+	// The window wrapped (3200 samples > 1024 slots) and must still hold
+	// only fed values, ordered by quantile.
+	p50, p95, p99 := snap.LatencyP50Sec, snap.LatencyP95Sec, snap.LatencyP99Sec
+	for _, q := range []float64{p50, p95, p99} {
+		if q < loVal || q > hiVal {
+			t.Fatalf("quantile %g outside fed range [%g, %g]", q, loVal, hiVal)
+		}
+	}
+	if p50 > p95 || p95 > p99 {
+		t.Fatalf("quantiles not monotone: p50 %g, p95 %g, p99 %g", p50, p95, p99)
+	}
+}
+
+// TestMetricsWindowWraparound feeds exactly latencyWindow+k samples and
+// checks the oldest k fell out of the quantile computation.
+func TestMetricsWindowWraparound(t *testing.T) {
+	m := newMetrics()
+	const k = 16
+	// First k samples are huge outliers; the next latencyWindow overwrite
+	// every slot with 1.0.
+	for i := 0; i < k; i++ {
+		m.dequeued()
+		m.finished(1000, nil)
+	}
+	for i := 0; i < latencyWindow; i++ {
+		m.dequeued()
+		m.finished(1.0, nil)
+	}
+	if p99 := m.latencyQuantile(0.99); p99 != 1.0 {
+		t.Fatalf("p99 = %g: outliers survived a full window wraparound", p99)
+	}
+}
+
+// TestBreakerCountersInSnapshot drives a real server into the full breaker
+// cycle with always-failing execution probes and an injected clock, checking
+// each transition lands in Metrics(): closed → open (Opened, shed Do calls
+// with RetryAfter) → half-open (clock advance) → closed (probe successes).
+func TestBreakerCountersInSnapshot(t *testing.T) {
+	clk := struct {
+		mu sync.Mutex
+		t  time.Time
+	}{t: time.Unix(1700000000, 0)}
+	now := func() time.Time {
+		clk.mu.Lock()
+		defer clk.mu.Unlock()
+		return clk.t
+	}
+	advance := func(d time.Duration) {
+		clk.mu.Lock()
+		clk.t = clk.t.Add(d)
+		clk.mu.Unlock()
+	}
+
+	s := New(Config{
+		Workers:    1,
+		QueueDepth: 8,
+		Retry:      resilience.RetryPolicy{MaxAttempts: -1}, // isolate the breaker
+		Breaker: resilience.BreakerConfig{
+			Window: 8, MinSamples: 4, FailureThreshold: 0.5,
+			Cooldown: time.Second, HalfOpenProbes: 2, Now: now,
+		},
+	})
+	defer s.Shutdown(context.Background())
+
+	fail := testQuery(t, algorithms.GD, "cri1", 2)
+	fail.Probe = func(int) error { return errors.New("probe: backend down") }
+	ok := testQuery(t, algorithms.GD, "cri1", 2)
+
+	if st := s.Metrics().BreakerState; st != "closed" {
+		t.Fatalf("initial breaker state %q", st)
+	}
+	// Four execution failures cross MinSamples at rate 1.0: the breaker opens.
+	for i := 0; i < 4; i++ {
+		if _, err := s.Do(context.Background(), fail); !errors.Is(err, resilience.ErrExecution) {
+			t.Fatalf("failing query %d: err = %v, want execution class", i, err)
+		}
+	}
+	snap := s.Metrics()
+	if snap.BreakerState != "open" {
+		t.Fatalf("state after failures = %q, want open", snap.BreakerState)
+	}
+	if snap.Breaker.Opened != 1 {
+		t.Fatalf("Opened = %d, want 1", snap.Breaker.Opened)
+	}
+
+	// While open every submission is shed with a Retry-After hint.
+	_, err := s.Do(context.Background(), ok)
+	if !errors.Is(err, ErrOverloaded) || !errors.Is(err, resilience.ErrOverloaded) {
+		t.Fatalf("open-breaker submission: err = %v, want overloaded", err)
+	}
+	var qe *resilience.QueryError
+	if !errors.As(err, &qe) || qe.RetryAfter <= 0 {
+		t.Fatalf("overloaded error carried no Retry-After: %+v", qe)
+	}
+	if snap = s.Metrics(); snap.Shed == 0 || snap.Breaker.Shed == 0 {
+		t.Fatalf("shed not counted: Shed %d, Breaker.Shed %d", snap.Shed, snap.Breaker.Shed)
+	}
+
+	// Cooldown elapses: half-open; two successful probes close it again.
+	advance(time.Second)
+	if st := s.Metrics().BreakerState; st != "half-open" {
+		t.Fatalf("state after cooldown = %q, want half-open", st)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := s.Do(context.Background(), ok); err != nil {
+			t.Fatalf("probe query %d: %v", i, err)
+		}
+	}
+	snap = s.Metrics()
+	if snap.BreakerState != "closed" {
+		t.Fatalf("state after probe successes = %q, want closed", snap.BreakerState)
+	}
+	if snap.Breaker.HalfOpened != 1 || snap.Breaker.Closed != 1 {
+		t.Fatalf("transition counters = %+v, want HalfOpened 1, Closed 1", snap.Breaker)
+	}
+	// Healthy again: a normal query sails through.
+	if _, err := s.Do(context.Background(), ok); err != nil {
+		t.Fatalf("post-recovery query: %v", err)
+	}
+}
+
+// TestHealthProbes checks the /healthz vs /readyz split: liveness is
+// unconditional, readiness tracks breaker state and drain.
+func TestHealthProbes(t *testing.T) {
+	s := New(Config{
+		Workers:    1,
+		QueueDepth: 4,
+		Retry:      resilience.RetryPolicy{MaxAttempts: -1},
+		Breaker: resilience.BreakerConfig{
+			Window: 8, MinSamples: 2, FailureThreshold: 0.5,
+			Cooldown: time.Minute, HalfOpenProbes: 1,
+		},
+	})
+
+	if h := s.Healthz(); !h.OK || h.Status != "serving" {
+		t.Fatalf("fresh server healthz = %+v", h)
+	}
+	if r := s.Readyz(); !r.OK {
+		t.Fatalf("fresh server readyz = %+v", r)
+	}
+
+	// Trip the breaker: still live, no longer ready, with a retry hint.
+	fail := testQuery(t, algorithms.GD, "cri1", 2)
+	fail.Probe = func(int) error { return errors.New("probe: down") }
+	for i := 0; i < 2; i++ {
+		s.Do(context.Background(), fail)
+	}
+	if h := s.Healthz(); !h.OK {
+		t.Fatalf("open breaker failed liveness: %+v", h)
+	}
+	r := s.Readyz()
+	if r.OK || r.Breaker != "open" || r.RetryAfterSec <= 0 {
+		t.Fatalf("open breaker readyz = %+v, want not-ready with retry hint", r)
+	}
+
+	// Draining: liveness still true, readiness false.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if h := s.Healthz(); !h.OK || h.Status != "draining" {
+		t.Fatalf("draining healthz = %+v", h)
+	}
+	if r := s.Readyz(); r.OK {
+		t.Fatalf("draining server still ready: %+v", r)
+	}
+}

@@ -12,6 +12,16 @@
 //     dataset reuse loop-constant intermediates like AᵀA and Aᵀb instead of
 //     recomputing them.
 //
+// The serving path is hardened by internal/resilience: every query runs
+// panic-isolated (a panicking query degrades into a structured
+// Internal-class QueryError, and a worker that somehow dies respawns),
+// transient execution failures retry with capped seeded backoff above the
+// plan cache, stragglers can be hedged with a duplicate execution, and
+// admission runs through a circuit breaker with queue-depth-aware load
+// shedding instead of a bare fixed-size queue. Liveness and readiness are
+// exposed via Healthz/Readyz and the resilience counters fold into the
+// Metrics snapshot.
+//
 // Every query still executes on its own isolated simulated cluster and
 // trace recorder; only immutable compiled plans and materialized
 // loop-constant values are shared. Server-level metrics (QPS, latency
@@ -24,22 +34,28 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"remac/internal/cluster"
 	"remac/internal/engine"
+	"remac/internal/fault"
 	"remac/internal/lang"
 	"remac/internal/matrix"
 	"remac/internal/opt"
+	"remac/internal/resilience"
 	"remac/internal/sparsity"
 	"remac/internal/trace"
 )
 
 // Errors returned by Do.
 var (
-	// ErrOverloaded reports an admission queue full at submission time;
-	// callers should back off and retry.
+	// ErrOverloaded reports an admission rejection — queue full, breaker
+	// open, or adaptive shed; callers should back off and retry. Returned
+	// errors wrap it inside an Overloaded-class resilience.QueryError whose
+	// RetryAfter field hints when.
 	ErrOverloaded = errors.New("serve: admission queue full")
 	// ErrClosed reports a query submitted after Shutdown began.
 	ErrClosed = errors.New("serve: server closed")
@@ -64,6 +80,19 @@ type Config struct {
 	// charged at the simulated cluster's modelled (virtual-scale) value
 	// sizes. Default 4 GiB; negative disables intermediate caching.
 	IntermediateBudgetBytes int64
+
+	// Retry re-executes transient failures (capped seeded backoff). The
+	// zero value enables the resilience defaults; Retry.MaxAttempts < 0
+	// disables retries.
+	Retry resilience.RetryPolicy
+	// Hedge re-submits straggler queries past a latency quantile. Off by
+	// default (Hedge.Enabled).
+	Hedge resilience.HedgePolicy
+	// Breaker configures the admission circuit breaker / load shedder.
+	// The zero value enables the resilience defaults; NoBreaker disables
+	// it (admission falls back to the bare bounded queue).
+	Breaker   resilience.BreakerConfig
+	NoBreaker bool
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +110,13 @@ func (c Config) withDefaults() Config {
 	}
 	return c
 }
+
+// Probe is a chaos hook invoked at the start of every execution attempt of
+// a query (the hedged duplicate included). Returning an error fails the
+// attempt as an execution error — wrap it with resilience.MarkTransient to
+// make the server retry — and a panic exercises the panic-isolation path.
+// The argument is the zero-based retry attempt number.
+type Probe func(attempt int) error
 
 // Query is one DML program submission.
 type Query struct {
@@ -107,12 +143,23 @@ type Query struct {
 	Timeout time.Duration
 	// MaxIterations overrides the engine's runaway-loop cap when positive.
 	MaxIterations int
+	// Faults injects a deterministic fault schedule into this query's
+	// simulated cluster (cost accounting only — results stay bitwise
+	// identical to a fault-free run). Use Plan.Derive to give each member
+	// of a concurrent storm its own sub-stream.
+	Faults *fault.Plan
+	// Checkpoint persists LSE-hoisted intermediates to simulated DFS (see
+	// engine.RunOptions.Checkpoint).
+	Checkpoint bool
 	// Trace attaches a span recorder to the run (returned on the result).
 	Trace bool
 	// NoPlanCache / NoIntermediateCache opt this query out of the shared
 	// caches (used by the cache-off arms of the serve benchmark).
 	NoPlanCache         bool
 	NoIntermediateCache bool
+	// Probe, when non-nil, runs at the start of every execution attempt
+	// (chaos/fault testing; see Probe).
+	Probe Probe
 }
 
 // NewQuery returns a Query with the library defaults: adaptive strategy,
@@ -123,6 +170,8 @@ func NewQuery(script string, inputs map[string]engine.Input) Query {
 
 // QueryResult is the outcome of one served query.
 type QueryResult struct {
+	// QueryID is the server-assigned id (also carried by QueryErrors).
+	QueryID uint64
 	// Values holds the final variable bindings' materialized matrices.
 	Values map[string]*matrix.Matrix
 	// Iterations executed.
@@ -140,6 +189,12 @@ type QueryResult struct {
 	PlanCacheHit bool
 	// IntermediateHits/Misses count cross-query LSE cache consultations.
 	IntermediateHits, IntermediateMisses int
+	// Attempts is the number of execution attempts this result took
+	// (1 + retries).
+	Attempts int
+	// HedgeWon marks a result produced by a hedged duplicate execution
+	// that beat the straggling primary.
+	HedgeWon bool
 	// SelectedKeys are the applied elimination option keys (sorted).
 	SelectedKeys []string
 	// Trace is the query's span recorder (nil unless Query.Trace).
@@ -152,6 +207,7 @@ type jobOut struct {
 }
 
 type job struct {
+	id  uint64
 	ctx context.Context
 	q   Query
 	out chan jobOut // buffered: workers never block on abandoned callers
@@ -164,6 +220,10 @@ type Server struct {
 	queue   chan *job
 	wg      sync.WaitGroup
 	metrics *metrics
+	breaker *resilience.Breaker
+
+	nextID           atomic.Uint64
+	hedgeOutstanding atomic.Int32
 
 	mu       sync.Mutex
 	closed   bool
@@ -187,6 +247,9 @@ func New(cfg Config) *Server {
 		metrics:  newMetrics(),
 		versions: map[string]int64{},
 	}
+	if !cfg.NoBreaker {
+		s.breaker = resilience.NewBreaker(cfg.Breaker)
+	}
 	if cfg.PlanCacheEntries > 0 {
 		s.plans = newPlanCache(cfg.PlanCacheEntries)
 	}
@@ -200,19 +263,50 @@ func New(cfg Config) *Server {
 	return s
 }
 
+// canceledErr wraps a context failure into a Canceled-class QueryError that
+// still matches errors.Is(err, engine.ErrCanceled).
+func canceledErr(id uint64, stage string, cause error) error {
+	return &resilience.QueryError{
+		Class:   resilience.Canceled,
+		QueryID: id,
+		Stage:   stage,
+		Err:     fmt.Errorf("serve: %w (%v)", engine.ErrCanceled, cause),
+	}
+}
+
+// overloadedErr wraps an admission rejection into an Overloaded-class
+// QueryError carrying the Retry-After hint.
+func overloadedErr(id uint64, retryAfter time.Duration, cause error) error {
+	return &resilience.QueryError{
+		Class:      resilience.Overloaded,
+		QueryID:    id,
+		Stage:      "admission",
+		Err:        cause,
+		RetryAfter: retryAfter,
+	}
+}
+
 // Do submits a query and blocks until it completes, fails, or ctx ends.
-// Admission is non-blocking: a full queue fails fast with ErrOverloaded.
-// When ctx ends first, Do returns an error wrapping engine.ErrCanceled and
-// the in-flight work stops promptly on its own (the worker shares ctx).
+// Admission is non-blocking: the circuit breaker / load shedder may reject
+// first, and a full queue fails fast — both as Overloaded-class errors
+// wrapping ErrOverloaded. When ctx ends first, Do returns a Canceled-class
+// error wrapping engine.ErrCanceled and the in-flight work stops promptly
+// on its own (the worker shares ctx).
 func (s *Server) Do(ctx context.Context, q Query) (*QueryResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	j := &job{ctx: ctx, q: q, out: make(chan jobOut, 1)}
+	id := s.nextID.Add(1)
+	j := &job{id: id, ctx: ctx, q: q, out: make(chan jobOut, 1)}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil, ErrClosed
+	}
+	if ok, retryAfter := s.breaker.Admit(len(s.queue), cap(s.queue)); !ok {
+		s.mu.Unlock()
+		s.metrics.shed()
+		return nil, overloadedErr(id, retryAfter, ErrOverloaded)
 	}
 	select {
 	case s.queue <- j:
@@ -221,13 +315,14 @@ func (s *Server) Do(ctx context.Context, q Query) (*QueryResult, error) {
 	default:
 		s.mu.Unlock()
 		s.metrics.rejected()
-		return nil, ErrOverloaded
+		s.breaker.Forgive()
+		return nil, overloadedErr(id, 0, ErrOverloaded)
 	}
 	select {
 	case o := <-j.out:
 		return o.res, o.err
 	case <-ctx.Done():
-		return nil, fmt.Errorf("serve: %w (%v)", engine.ErrCanceled, ctx.Err())
+		return nil, canceledErr(id, "wait", ctx.Err())
 	}
 }
 
@@ -278,26 +373,220 @@ func (s *Server) DatasetVersion(id string) int64 {
 	return s.versions[id]
 }
 
+// worker drains the admission queue. It is panic-isolated twice over: each
+// query attempt runs under its own recover (attemptOnce), and a panic that
+// somehow escapes that — a bug in the pool itself — is caught here, counted,
+// and the worker respawned so capacity never silently decays. The
+// wg.Add-before-Done ordering keeps Shutdown's WaitGroup balanced across a
+// respawn.
 func (s *Server) worker() {
-	defer s.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.workerRespawn()
+			s.wg.Add(1)
+			go s.worker()
+		}
+		s.wg.Done()
+	}()
 	for j := range s.queue {
 		s.metrics.dequeued()
 		if err := j.ctx.Err(); err != nil {
-			// The caller is gone; skip the work, settle the job.
-			s.metrics.finished(0, fmt.Errorf("%w", engine.ErrCanceled))
-			j.out <- jobOut{err: fmt.Errorf("serve: %w (%v)", engine.ErrCanceled, err)}
+			// The caller's context expired while the query sat queued: it is
+			// canceled, never executed — counted as such, and settled through
+			// the buffered out channel so nothing leaks.
+			cerr := canceledErr(j.id, "queued", err)
+			s.metrics.finished(0, cerr)
+			s.breaker.Forgive()
+			j.out <- jobOut{err: cerr}
 			continue
 		}
 		start := time.Now()
-		res, err := s.execute(j.ctx, j.q)
+		res, err := s.run(j)
 		s.metrics.finished(time.Since(start).Seconds(), err)
+		s.recordOutcome(err)
 		j.out <- jobOut{res: res, err: err}
+	}
+}
+
+// recordOutcome feeds the breaker: only server-attributable failures
+// (execution, internal) count against it; client-caused ones (canceled,
+// compile errors, divergent loops) and overload release accounting without
+// an outcome so a storm of bad queries cannot open the circuit.
+func (s *Server) recordOutcome(err error) {
+	if err == nil {
+		s.breaker.Record(true)
+		return
+	}
+	switch class, _ := resilience.ClassOf(err); class {
+	case resilience.Execution, resilience.Internal:
+		s.breaker.Record(false)
+	default:
+		s.breaker.Forgive()
+	}
+}
+
+// run executes a job with the retry policy layered above the engine (and
+// the plan cache, so every retry reuses the compiled plan): transient
+// failures re-execute after a capped, seeded backoff until attempts or the
+// backoff budget run out.
+func (s *Server) run(j *job) (*QueryResult, error) {
+	policy := s.cfg.Retry.WithDefaults()
+	var slept time.Duration
+	var lastErr error
+	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			delay := policy.Backoff(j.id, attempt)
+			if slept+delay > policy.Budget {
+				break
+			}
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-j.ctx.Done():
+				t.Stop()
+				return nil, canceledErr(j.id, "backoff", j.ctx.Err())
+			}
+			slept += delay
+			s.metrics.retried()
+		}
+		res, err := s.attemptOnce(j, attempt)
+		if err == nil {
+			res.Attempts = attempt + 1
+			return res, nil
+		}
+		if !resilience.IsTransient(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// attemptOnce runs a single panic-isolated execution attempt, hedged with
+// a duplicate execution if the primary straggles past the hedge delay
+// (derived from the recent latency quantile). The first settled outcome
+// wins; the loser's context is canceled so it unwinds promptly.
+func (s *Server) attemptOnce(j *job, attempt int) (*QueryResult, error) {
+	delay := s.hedgeDelay()
+	if delay <= 0 {
+		return s.guarded(j.ctx, j, attempt)
+	}
+	type outcome struct {
+		res   *QueryResult
+		err   error
+		hedge bool
+	}
+	ch := make(chan outcome, 2)
+	primCtx, cancelPrim := context.WithCancel(j.ctx)
+	defer cancelPrim()
+	go func() {
+		r, e := s.guarded(primCtx, j, attempt)
+		ch <- outcome{r, e, false}
+	}()
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-timer.C:
+	}
+	hp := s.cfg.Hedge.WithDefaults()
+	if int(s.hedgeOutstanding.Add(1)) > hp.MaxOutstanding {
+		// Over the server-wide hedge budget: wait out the primary.
+		s.hedgeOutstanding.Add(-1)
+		o := <-ch
+		return o.res, o.err
+	}
+	s.metrics.hedged()
+	hedgeCtx, cancelHedge := context.WithCancel(j.ctx)
+	defer cancelHedge()
+	go func() {
+		defer s.hedgeOutstanding.Add(-1)
+		r, e := s.guarded(hedgeCtx, j, attempt)
+		ch <- outcome{r, e, true}
+	}()
+	o := <-ch
+	if o.hedge {
+		cancelPrim()
+		s.metrics.hedgeWon()
+		if o.res != nil {
+			o.res.HedgeWon = true
+		}
+	} else {
+		cancelHedge()
+	}
+	return o.res, o.err
+}
+
+// hedgeDelay derives the hedge trigger from the recent latency window; 0
+// disables hedging for this attempt (policy off or no signal yet).
+func (s *Server) hedgeDelay() time.Duration {
+	if !s.cfg.Hedge.Enabled {
+		return 0
+	}
+	hp := s.cfg.Hedge.WithDefaults()
+	return hp.Delay(s.metrics.latencyQuantile(hp.Quantile))
+}
+
+// guarded is one panic-isolated execution: a panic anywhere in the probe,
+// compiler or engine becomes an Internal-class QueryError with a redacted
+// stack, and the worker (or hedge goroutine) survives.
+func (s *Server) guarded(ctx context.Context, j *job, attempt int) (res *QueryResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.panicRecovered()
+			res, err = nil, resilience.PanicError(j.id, "execute", r, debug.Stack())
+		}
+	}()
+	if j.q.Probe != nil {
+		if perr := j.q.Probe(attempt); perr != nil {
+			return nil, s.classify(j.id, "execute", perr)
+		}
+	}
+	r, e := s.execute(ctx, j.q)
+	if e != nil {
+		var qe *resilience.QueryError
+		if errors.As(e, &qe) && qe.QueryID == 0 {
+			qe.QueryID = j.id
+		}
+		return nil, e
+	}
+	r.QueryID = j.id
+	return r, nil
+}
+
+// classify wraps a raw error into a QueryError with the right taxonomy
+// class for its stage. Already-classified errors pass through.
+func (s *Server) classify(id uint64, stage string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var qe *resilience.QueryError
+	if errors.As(err, &qe) {
+		return err
+	}
+	class := resilience.Execution
+	switch {
+	case errors.Is(err, engine.ErrCanceled):
+		class = resilience.Canceled
+	case errors.Is(err, engine.ErrMaxIterations):
+		class = resilience.MaxIterations
+	case stage == "compile":
+		class = resilience.Compile
+	}
+	return &resilience.QueryError{
+		Class:     class,
+		QueryID:   id,
+		Stage:     stage,
+		Err:       err,
+		Transient: class == resilience.Execution && resilience.IsTransient(err),
 	}
 }
 
 // execute runs one query end to end: plan (cached or compiled), then
 // execute on a fresh simulated cluster with the cross-query intermediate
-// cache attached.
+// cache attached. Returned errors are classified (compile vs execution vs
+// canceled vs max-iterations).
 func (s *Server) execute(ctx context.Context, q Query) (*QueryResult, error) {
 	timeout := q.Timeout
 	if timeout == 0 {
@@ -328,7 +617,7 @@ func (s *Server) execute(ctx context.Context, q Query) (*QueryResult, error) {
 	start := time.Now()
 	compiled, compileSec, planHit, err := s.plan(ctx, q, ocfg)
 	if err != nil {
-		return nil, err
+		return nil, s.classify(0, "compile", err)
 	}
 
 	var rec *trace.Recorder
@@ -343,10 +632,12 @@ func (s *Server) execute(ctx context.Context, q Query) (*QueryResult, error) {
 	}
 	res, err := engine.RunWithOptions(ctx, compiled, q.Inputs, rec, engine.RunOptions{
 		MaxIter:       q.MaxIterations,
+		Faults:        q.Faults,
+		Checkpoint:    q.Checkpoint,
 		Intermediates: inter,
 	})
 	if err != nil {
-		return nil, err
+		return nil, s.classify(0, "execute", err)
 	}
 	out := &QueryResult{
 		Values:       map[string]*matrix.Matrix{},
@@ -433,7 +724,7 @@ func clusterSig(c cluster.Config) string {
 }
 
 // Metrics returns a point-in-time snapshot of the server's aggregate
-// metrics.
+// metrics, resilience counters included.
 func (s *Server) Metrics() Snapshot {
 	snap := s.metrics.snapshot()
 	if s.plans != nil {
@@ -442,5 +733,7 @@ func (s *Server) Metrics() Snapshot {
 	if s.inter != nil {
 		snap.InterEntries, snap.InterBytes = s.inter.usage()
 	}
+	snap.BreakerState = s.breaker.State().String()
+	snap.Breaker = s.breaker.Counters()
 	return snap
 }

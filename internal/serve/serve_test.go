@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"math"
+	"regexp"
 	"runtime"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -12,8 +15,10 @@ import (
 	"remac/internal/cluster"
 	"remac/internal/data"
 	"remac/internal/engine"
+	"remac/internal/fault"
 	"remac/internal/matrix"
 	"remac/internal/opt"
+	"remac/internal/resilience"
 )
 
 // testQuery builds a serve query for a workload over a loaded dataset.
@@ -270,7 +275,7 @@ func TestOverloadAndCancel(t *testing.T) {
 }
 
 // TestQueryTimeout: a query with an unreachable deadline fails with
-// ErrCanceled.
+// ErrCanceled and is accounted as canceled, not failed.
 func TestQueryTimeout(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer s.Shutdown(context.Background())
@@ -280,8 +285,269 @@ func TestQueryTimeout(t *testing.T) {
 		t.Errorf("timed-out query: got %v, want ErrCanceled", err)
 	}
 	snap := s.Metrics()
-	if snap.Failed != 1 {
-		t.Errorf("failed count = %d, want 1", snap.Failed)
+	if snap.Canceled != 1 || snap.Failed != 0 {
+		t.Errorf("canceled=%d failed=%d, want 1,0", snap.Canceled, snap.Failed)
+	}
+}
+
+// TestCanceledWhileQueued is the regression test for the Do context race:
+// a query whose context expires while it still sits in the admission queue
+// must be counted as canceled — never executed — and its jobOut channel
+// must be settled (buffered send) so nothing leaks.
+func TestCanceledWhileQueued(t *testing.T) {
+	// No worker goroutines: jobs stay queued until we drain by hand.
+	s := &Server{
+		cfg:      Config{QueueDepth: 2}.withDefaults(),
+		queue:    make(chan *job, 2),
+		metrics:  newMetrics(),
+		versions: map[string]int64{},
+	}
+	executed := false
+	q := testQuery(t, algorithms.GD, "cri1", 2)
+	q.Probe = func(int) error { executed = true; return nil }
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Do(ctx, q)
+		errc <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(s.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The caller gives up while the job is still queued.
+	cancel()
+	if err := <-errc; !errors.Is(err, engine.ErrCanceled) {
+		t.Fatalf("Do returned %v, want ErrCanceled", err)
+	}
+	// Now a worker arrives and drains the queue: the stale job must be
+	// settled as canceled without executing.
+	s.mu.Lock()
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.worker()
+	s.wg.Wait()
+	if executed {
+		t.Error("canceled-while-queued query was executed")
+	}
+	snap := s.Metrics()
+	if snap.Canceled != 1 || snap.Completed != 0 || snap.Failed != 0 {
+		t.Errorf("canceled=%d completed=%d failed=%d, want 1,0,0",
+			snap.Canceled, snap.Completed, snap.Failed)
+	}
+	if snap.QueueDepth != 0 || snap.InFlight != 0 {
+		t.Errorf("queue=%d inflight=%d after drain, want 0,0", snap.QueueDepth, snap.InFlight)
+	}
+}
+
+// TestPanicIsolation: a panicking query yields a structured Internal-class
+// error with a redacted stack, and the server keeps serving.
+func TestPanicIsolation(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+	bomb := testQuery(t, algorithms.GD, "cri1", 2)
+	bomb.Probe = func(int) error { panic("poison query") }
+	_, err := s.Do(context.Background(), bomb)
+	var qe *resilience.QueryError
+	if !errors.As(err, &qe) || qe.Class != resilience.Internal {
+		t.Fatalf("panic query: got %v, want Internal-class QueryError", err)
+	}
+	if !errors.Is(err, resilience.ErrInternal) {
+		t.Error("errors.Is(err, resilience.ErrInternal) = false")
+	}
+	if qe.Stack == "" || strings.Contains(qe.Stack, "[running]") {
+		t.Errorf("stack not captured/redacted: %q", qe.Stack)
+	}
+	if !strings.Contains(qe.Stack, "guarded") {
+		t.Errorf("stack lost the panicking frames: %q", qe.Stack)
+	}
+	if regexp.MustCompile(`0x[0-9a-fA-F]{4,}`).MatchString(qe.Stack) {
+		t.Errorf("stack leaks raw addresses: %q", qe.Stack)
+	}
+	// The pool survives: a healthy query still completes.
+	if _, err := s.Do(context.Background(), testQuery(t, algorithms.GD, "cri1", 2)); err != nil {
+		t.Fatalf("query after panic: %v", err)
+	}
+	snap := s.Metrics()
+	if snap.PanicsRecovered != 1 {
+		t.Errorf("panics recovered = %d, want 1", snap.PanicsRecovered)
+	}
+}
+
+// TestWorkerRespawn: a panic escaping the per-query guard (here: a send on
+// an already-closed out channel, a pool bug by construction) kills the
+// worker goroutine, which must respawn and keep draining.
+func TestWorkerRespawn(t *testing.T) {
+	s := &Server{
+		cfg:      Config{QueueDepth: 2, Workers: 1}.withDefaults(),
+		queue:    make(chan *job, 2),
+		metrics:  newMetrics(),
+		versions: map[string]int64{},
+	}
+	q := testQuery(t, algorithms.GD, "cri1", 2)
+	poisoned := &job{id: 1, ctx: context.Background(), q: q, out: make(chan jobOut, 1)}
+	close(poisoned.out) // worker's settle send will panic
+	healthy := &job{id: 2, ctx: context.Background(), q: q, out: make(chan jobOut, 1)}
+	s.queue <- poisoned
+	s.queue <- healthy
+	s.mu.Lock()
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.worker()
+	s.wg.Wait()
+	o := <-healthy.out
+	if o.err != nil {
+		t.Fatalf("healthy job after worker panic: %v", o.err)
+	}
+	if snap := s.Metrics(); snap.WorkerRespawns != 1 {
+		t.Errorf("worker respawns = %d, want 1", snap.WorkerRespawns)
+	}
+}
+
+// TestRetryTransient: a transient execution failure is retried with the
+// plan cache reused, and the query ultimately succeeds.
+func TestRetryTransient(t *testing.T) {
+	s := New(Config{Workers: 1, Retry: resilience.RetryPolicy{
+		MaxAttempts: 3, BaseBackoff: time.Millisecond, Seed: 7,
+	}})
+	defer s.Shutdown(context.Background())
+	q := testQuery(t, algorithms.GD, "cri1", 2)
+	// Warm the plan cache so the retried run can hit it.
+	if _, err := s.Do(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	flaky := q
+	var attempts []int
+	flaky.Probe = func(attempt int) error {
+		attempts = append(attempts, attempt)
+		if attempt < 2 {
+			return resilience.MarkTransient(errors.New("synthetic transient fault"))
+		}
+		return nil
+	}
+	res, err := s.Do(context.Background(), flaky)
+	if err != nil {
+		t.Fatalf("flaky query: %v", err)
+	}
+	if res.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", res.Attempts)
+	}
+	if !res.PlanCacheHit {
+		t.Error("retried run missed the plan cache")
+	}
+	if want := []int{0, 1, 2}; len(attempts) != 3 || attempts[0] != want[0] || attempts[1] != want[1] || attempts[2] != want[2] {
+		t.Errorf("probe attempts = %v, want %v", attempts, want)
+	}
+	if snap := s.Metrics(); snap.Retries != 2 {
+		t.Errorf("retries = %d, want 2", snap.Retries)
+	}
+}
+
+// TestNonTransientNotRetried: ordinary execution errors and panics fail
+// immediately without burning retry attempts.
+func TestNonTransientNotRetried(t *testing.T) {
+	s := New(Config{Workers: 1, Retry: resilience.RetryPolicy{
+		MaxAttempts: 3, BaseBackoff: time.Millisecond,
+	}})
+	defer s.Shutdown(context.Background())
+	q := testQuery(t, algorithms.GD, "cri1", 2)
+	calls := 0
+	q.Probe = func(int) error { calls++; return errors.New("deterministic bug") }
+	_, err := s.Do(context.Background(), q)
+	if !errors.Is(err, resilience.ErrExecution) {
+		t.Fatalf("got %v, want execution-class error", err)
+	}
+	if calls != 1 {
+		t.Errorf("non-transient error executed %d times, want 1", calls)
+	}
+}
+
+// TestMaxIterationsClass: a divergent loop surfaces as a MaxIterations-
+// class QueryError still matching engine.ErrMaxIterations.
+func TestMaxIterationsClass(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	q := testQuery(t, algorithms.GD, "cri1", 3)
+	q.MaxIterations = 1
+	_, err := s.Do(context.Background(), q)
+	if !errors.Is(err, engine.ErrMaxIterations) {
+		t.Fatalf("got %v, want ErrMaxIterations", err)
+	}
+	if !errors.Is(err, resilience.ErrMaxIterations) {
+		t.Errorf("error not classified MaxIterations: %v", err)
+	}
+}
+
+// TestHedgeStraggler: with hedging enabled and a warm latency window, a
+// query whose first execution straggles is raced by a duplicate, and the
+// duplicate's result (bitwise-identical by construction) wins.
+func TestHedgeStraggler(t *testing.T) {
+	s := New(Config{Workers: 2, Hedge: resilience.HedgePolicy{
+		Enabled: true, Quantile: 0.5, Multiplier: 1.5, MinDelay: time.Millisecond, MaxOutstanding: 2,
+	}})
+	defer s.Shutdown(context.Background())
+	q := testQuery(t, algorithms.GD, "cri1", 2)
+	// Warm the latency window and caches.
+	ref, err := s.Do(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	straggler := q
+	var invocations atomic.Int32
+	straggler.Probe = func(int) error {
+		if invocations.Add(1) == 1 {
+			time.Sleep(400 * time.Millisecond) // only the primary straggles
+		}
+		return nil
+	}
+	res, err := s.Do(context.Background(), straggler)
+	if err != nil {
+		t.Fatalf("straggler query: %v", err)
+	}
+	if !res.HedgeWon {
+		t.Error("hedge did not win against a 400ms straggler")
+	}
+	bitwiseEqualValues(t, ref.Values, res.Values)
+	snap := s.Metrics()
+	if snap.Hedges != 1 || snap.HedgesWon != 1 {
+		t.Errorf("hedges=%d won=%d, want 1,1", snap.Hedges, snap.HedgesWon)
+	}
+}
+
+// TestFaultInjectedQueryBitwiseIdentical: a served query with an injected
+// fault plan returns results bitwise identical to the fault-free run
+// (faults only perturb the cost model), with per-query sub-streams derived
+// from the root seed.
+func TestFaultInjectedQueryBitwiseIdentical(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+	q := testQuery(t, algorithms.DFP, "cri1", 3)
+	ref, err := s.Do(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := fault.NewPlan(fault.Config{
+		Seed:                  41,
+		WorkerFailuresPerHour: 60,
+		TransmitErrorsPerHour: 120,
+		StragglersPerHour:     60,
+	})
+	for i := 0; i < 3; i++ {
+		fq := q
+		fq.Faults = root.Derive(i)
+		res, err := s.Do(context.Background(), fq)
+		if err != nil {
+			t.Fatalf("faulted query %d: %v", i, err)
+		}
+		bitwiseEqualValues(t, ref.Values, res.Values)
 	}
 }
 
