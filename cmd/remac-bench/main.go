@@ -7,7 +7,7 @@
 //	remac-bench -experiment fig9    # run one (table2, fig3a, fig3b, fig8a,
 //	                                # fig8b, fig9, fig10a, fig10b, fig11,
 //	                                # fig12, fig13, options, opstats, faults,
-//	                                # serve, chaos)
+//	                                # serve, chaos, integrity)
 //	remac-bench -trace out.json     # also dump every run's operator spans
 //	                                # as JSON lines
 //	remac-bench -json out.json      # also write the selected tables as a
@@ -29,10 +29,12 @@ func main() {
 	jsonFile := flag.String("json", "", "write the selected tables to this file as JSON")
 	faultSeed := flag.Int64("fault-seed", bench.FaultSeed, "fault schedule seed of the faults experiment")
 	chaosSeed := flag.Int64("chaos-seed", bench.ChaosSeed, "storm schedule seed of the chaos experiment")
+	integritySeed := flag.Int64("integrity-seed", bench.IntegritySeed, "corruption schedule seed of the integrity experiment")
 	flag.Parse()
 
 	bench.FaultSeed = *faultSeed
 	bench.ChaosSeed = *chaosSeed
+	bench.IntegritySeed = *integritySeed
 
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)

@@ -5,6 +5,7 @@
 //
 //	remac -workload DFP -dataset cri2 -strategy adaptive -iterations 15
 //	remac -workload DFP -faults 60 -fault-seed 7 -checkpoint
+//	remac -workload DFP -corrupt-rate 120 -verify abft -nan-guard iter
 package main
 
 import (
@@ -26,6 +27,9 @@ func main() {
 	faults := flag.Float64("faults", 0, "inject r worker failures, 2r transmission errors and r stragglers per simulated hour of work")
 	faultSeed := flag.Int64("fault-seed", 1, "fault schedule seed (same seed + rates = same schedule)")
 	checkpoint := flag.Bool("checkpoint", false, "persist loop-hoisted intermediates to DFS so failures recover them by re-reading")
+	corruptRate := flag.Float64("corrupt-rate", 0, "inject r silent payload corruptions per simulated hour of work")
+	verify := flag.String("verify", "off", "integrity verification: off, digest (block checksums), abft (digest + multiply checksum vectors)")
+	nanGuard := flag.String("nan-guard", "off", "non-finite scan cadence: off, iter (loop variables each iteration), op (every operator output)")
 	traceFile := flag.String("trace", "", "write the run's operator spans to this file as JSON lines")
 	flag.Parse()
 
@@ -57,13 +61,14 @@ func main() {
 	})
 	fatal(err)
 
-	opts := remac.RunOptions{Checkpoint: *checkpoint}
-	if *faults > 0 {
+	opts := remac.RunOptions{Checkpoint: *checkpoint, Verify: *verify, NaNGuard: *nanGuard}
+	if *faults > 0 || *corruptRate > 0 {
 		opts.Faults = &remac.FaultConfig{
 			Seed:                  *faultSeed,
 			WorkerFailuresPerHour: *faults,
 			TransmitErrorsPerHour: 2 * *faults,
 			StragglersPerHour:     *faults,
+			CorruptionsPerHour:    *corruptRate,
 		}
 	}
 
@@ -89,6 +94,13 @@ func main() {
 	if *faults > 0 {
 		fmt.Printf("  fault recovery      %10.1f s (simulated: %d retries, %d worker failures, %.2f recompute GFLOP)\n",
 			report.RecoverySeconds, report.Retries, report.FailedWorkers, report.RecomputeFLOP/1e9)
+	}
+	if *corruptRate > 0 || *verify != "off" {
+		detected := report.CorruptionsDetectedDigest + report.CorruptionsDetectedABFT
+		fmt.Printf("  integrity           %10.1f s verification (simulated); %d corruptions, %d detected (%d digest, %d abft), %d repairs (%.1f s)\n",
+			report.VerifySeconds, report.CorruptionsInjected, detected,
+			report.CorruptionsDetectedDigest, report.CorruptionsDetectedABFT,
+			report.IntegrityRepairs, report.RepairSeconds)
 	}
 	if keys := prog.SelectedKeys(); len(keys) > 0 {
 		fmt.Printf("  applied options     %v\n", keys)

@@ -16,8 +16,10 @@ import (
 	"remac/internal/algorithms"
 	"remac/internal/cluster"
 	"remac/internal/data"
+	"remac/internal/distmat"
 	"remac/internal/engine"
 	"remac/internal/fault"
+	"remac/internal/integrity"
 	"remac/internal/opt"
 	"remac/internal/sparsity"
 	"remac/internal/trace"
@@ -96,6 +98,10 @@ type runCfg struct {
 	// during the run; checkpoint persists LSE values against them.
 	faults     fault.Config
 	checkpoint bool
+	// verify and nanGuard select the run's integrity layer (see
+	// engine.RunOptions).
+	verify   integrity.VerifyMode
+	nanGuard integrity.GuardMode
 }
 
 // runOut is the measurement of one run.
@@ -113,6 +119,17 @@ type runOut struct {
 	RecoverySec   float64
 	RecomputeFLOP float64
 	FailedWorkers int
+
+	// Integrity accounting (zero unless corruption or verification was on).
+	CorruptionsInjected int
+	CorruptionsDigest   int
+	CorruptionsABFT     int
+	IntegrityRepairs    int
+	RepairSec           float64
+	VerifySec           float64
+	// ResultHash fingerprints the final variable bindings; equal hashes mean
+	// bitwise-identical results.
+	ResultHash uint64
 }
 
 var (
@@ -227,6 +244,8 @@ func runOneTraced(cfg runCfg, rec *trace.Recorder) (*runOut, error) {
 	res, err := engine.RunWithOptions(context.Background(), compiled, ins, rec, engine.RunOptions{
 		Faults:     fault.NewPlan(fcfg),
 		Checkpoint: cfg.checkpoint,
+		Verify:     cfg.verify,
+		NaNGuard:   cfg.nanGuard,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%v/%s/%v: %w", cfg.alg, cfg.dataset, cfg.strategy, err)
@@ -242,6 +261,14 @@ func runOneTraced(cfg runCfg, rec *trace.Recorder) (*runOut, error) {
 		RecoverySec:   res.Stats.RecoverySec,
 		RecomputeFLOP: res.Stats.RecomputeFLOP,
 		FailedWorkers: res.Stats.FailedWorkers,
+
+		CorruptionsInjected: res.Stats.CorruptionsInjected,
+		CorruptionsDigest:   res.Stats.CorruptionsDigest,
+		CorruptionsABFT:     res.Stats.CorruptionsABFT,
+		IntegrityRepairs:    res.Stats.IntegrityRepairs,
+		RepairSec:           res.Stats.RepairSec,
+		VerifySec:           res.Stats.VerifySec,
+		ResultHash:          envHash(res.Env),
 	}
 	total := 0.0
 	for _, b := range res.Stats.WorkerBytes {
@@ -259,28 +286,55 @@ func runOneTraced(cfg runCfg, rec *trace.Recorder) (*runOut, error) {
 	return out, nil
 }
 
+// envHash fingerprints a run's final variable bindings: equal hashes mean
+// every binding is bitwise identical (names, shapes and value bits).
+func envHash(env map[string]*distmat.DistMatrix) uint64 {
+	names := make([]string, 0, len(env))
+	for n := range env {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime
+	}
+	for _, n := range names {
+		for i := 0; i < len(n); i++ {
+			mix(n[i])
+		}
+		d := integrity.Digest(env[n].Data())
+		for i := 0; i < 8; i++ {
+			mix(byte(d >> (8 * i)))
+		}
+	}
+	return h
+}
+
 // Experiments maps experiment IDs to their runners.
 var Experiments = map[string]func() (*Table, error){
-	"table2":  Table2,
-	"fig3a":   func() (*Table, error) { return Fig3(false) },
-	"fig3b":   func() (*Table, error) { return Fig3(true) },
-	"fig8a":   Fig8a,
-	"fig8b":   Fig8b,
-	"fig9":    Fig9,
-	"fig10a":  Fig10a,
-	"fig10b":  Fig10b,
-	"fig11":   Fig11,
-	"fig12":   Fig12,
-	"fig13":   Fig13,
-	"options": OptionCensus,
-	"opstats": OpStats,
-	"faults":  Faults,
-	"serve":   ServeBench,
-	"chaos":   Chaos,
+	"table2":    Table2,
+	"fig3a":     func() (*Table, error) { return Fig3(false) },
+	"fig3b":     func() (*Table, error) { return Fig3(true) },
+	"fig8a":     Fig8a,
+	"fig8b":     Fig8b,
+	"fig9":      Fig9,
+	"fig10a":    Fig10a,
+	"fig10b":    Fig10b,
+	"fig11":     Fig11,
+	"fig12":     Fig12,
+	"fig13":     Fig13,
+	"options":   OptionCensus,
+	"opstats":   OpStats,
+	"faults":    Faults,
+	"serve":     ServeBench,
+	"chaos":     Chaos,
+	"integrity": Integrity,
 }
 
 // IDs lists experiment IDs in presentation order.
-var IDs = []string{"table2", "fig3a", "fig3b", "fig8a", "fig8b", "fig9", "fig10a", "fig10b", "fig11", "fig12", "fig13", "options", "opstats", "faults", "serve", "chaos"}
+var IDs = []string{"table2", "fig3a", "fig3b", "fig8a", "fig8b", "fig9", "fig10a", "fig10b", "fig11", "fig12", "fig13", "options", "opstats", "faults", "serve", "chaos", "integrity"}
 
 // OpStats records per-operator aggregates for a traced DFP run: how many
 // operators of each kind executed, and where the simulated time and bytes

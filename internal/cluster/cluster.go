@@ -201,6 +201,15 @@ type Stats struct {
 	RecoverySec   float64 // backoff, retransmission, straggling and recomputation seconds
 	RecomputeFLOP float64 // FLOP re-executed to rebuild lost blocks (not in FLOP)
 	FailedWorkers int     // worker-failure events injected
+
+	// Integrity accounting (all zero unless corruption was injected or a
+	// verification mode enabled; see internal/integrity).
+	CorruptionsInjected int     // corruption events that landed on a payload
+	CorruptionsDigest   int     // corruptions caught by a block digest
+	CorruptionsABFT     int     // corruptions caught by ABFT checksum validation
+	IntegrityRepairs    int     // lineage repair attempts for corrupted blocks
+	RepairSec           float64 // repair attempt seconds (included in RecoverySec)
+	VerifySec           float64 // digest/ABFT/scan seconds (included in ComputeTime)
 }
 
 // TotalTime returns the simulated wall-clock seconds, recovery included.
@@ -420,6 +429,11 @@ func (c *Cluster) injectLocked(from, to float64, prof profile) []FaultCharge {
 			c.stats.Retries++
 		case fault.WorkerFailure:
 			c.stats.FailedWorkers++
+		case fault.Corruption:
+			// Corruption carries no intrinsic charge: whether the flipped
+			// payload bit costs a repair or a wrong answer is decided by the
+			// runtime's verification layer, which observes the forwarded
+			// event (see distmat's integrity settlement).
 		}
 		c.stats.RecoverySec += fc.RecoverySec
 		for i, b := range fc.Bytes {
@@ -442,6 +456,31 @@ func (c *Cluster) ChargeRecovery(flop, sec float64, bytes [4]float64) {
 	for i, b := range bytes {
 		c.stats.Bytes[i] += b
 	}
+}
+
+// IntegrityCharge attributes integrity-layer outcomes to the stats counters.
+// It only moves counters: the underlying seconds are charged through
+// ChargeProfile (verification work) and ChargeRecovery (repairs), so the
+// attribution fields let reports split totals without double-booking time.
+type IntegrityCharge struct {
+	Injected  int     // corruption events that landed on a payload
+	ByDigest  int     // caught by a block digest
+	ByABFT    int     // caught by ABFT checksum validation
+	Repairs   int     // lineage repair attempts
+	RepairSec float64 // seconds of those attempts (already in RecoverySec)
+	VerifySec float64 // verification seconds (already in ComputeTime)
+}
+
+// AddIntegrity accumulates integrity attribution counters.
+func (c *Cluster) AddIntegrity(ic IntegrityCharge) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.CorruptionsInjected += ic.Injected
+	c.stats.CorruptionsDigest += ic.ByDigest
+	c.stats.CorruptionsABFT += ic.ByABFT
+	c.stats.IntegrityRepairs += ic.Repairs
+	c.stats.RepairSec += ic.RepairSec
+	c.stats.VerifySec += ic.VerifySec
 }
 
 // ChargeWorker records that worker w processed the given data volume (used

@@ -15,6 +15,7 @@ import (
 	"remac/internal/cluster"
 	"remac/internal/cost"
 	"remac/internal/fault"
+	"remac/internal/integrity"
 	"remac/internal/matrix"
 	"remac/internal/sparsity"
 	"remac/internal/trace"
@@ -35,11 +36,25 @@ type Context struct {
 	// input-partition phase of Fig 12), separately from the main clock.
 	PartitionSec float64
 
+	// Verify selects the integrity verification mode: block digests on
+	// transmissions and DFS reads, optionally plus ABFT checksum validation
+	// of distributed multiplies (see internal/integrity).
+	Verify integrity.VerifyMode
+	// NaNGuard selects the non-finite scan cadence (off, per iteration via
+	// GuardValue, or per charged operator).
+	NaNGuard integrity.GuardMode
+
 	// failEpoch counts worker-failure events observed so far. Every
 	// DistMatrix remembers the epoch at which it was last fully resident;
 	// a distributed value whose epoch lags behind lost blocks to the
 	// failures in between and lazily repairs itself when next used.
 	failEpoch int
+	// pending holds corruption events the injector fired but the integrity
+	// layer has not yet settled against the charging operator's payload.
+	pending []fault.Event
+	// intErr is the first unrecoverable integrity or numeric error
+	// (IntegrityErr exposes it to the engine).
+	intErr error
 }
 
 // NewContext creates a runtime context for a cluster.
@@ -56,6 +71,13 @@ func (ctx *Context) EnableFaults(p *fault.Plan) {
 }
 
 func (ctx *Context) onFault(fc cluster.FaultCharge) {
+	if fc.Event.Kind == fault.Corruption {
+		// Corruption has no cost of its own; its span is emitted by the
+		// integrity settlement once the outcome (inert, repaired,
+		// propagated) is known. See settle in integrity.go.
+		ctx.pending = append(ctx.pending, fc.Event)
+		return
+	}
 	if fc.Event.Kind == fault.WorkerFailure {
 		ctx.failEpoch++
 	}
@@ -115,6 +137,7 @@ func Read(ctx *Context, m *matrix.Matrix, vRows, vCols int64) *DistMatrix {
 		ctx.apply("dfs-read", "dfs-read", bd, nil, &meta, 0)
 		ctx.PartitionSec += bd.Total()
 		chargeWorkers(ctx, d)
+		d.data = ctx.settle("dfs-read", "dfs-read", bd, meta, d.data, nil)
 	}
 	return d
 }
@@ -184,6 +207,7 @@ func (d *DistMatrix) Checkpoint() {
 	meta := d.vMeta
 	bd := d.ctx.Model.DFSWrite(meta)
 	d.ctx.apply("checkpoint", "checkpoint/dfs-write", bd, []sparsity.Meta{meta}, nil, 0)
+	d.data = d.ctx.settle("checkpoint", "checkpoint/dfs-write", bd, meta, d.data, nil)
 	d.ckpt = true
 }
 
@@ -245,6 +269,7 @@ func (d *DistMatrix) ewise(o *DistMatrix, kind cost.EWiseKind, op string) *DistM
 		outMeta, bd, outLocal = d.ctx.Model.EWise(kind, d.vMeta, o.vMeta, d.local, o.local)
 	}
 	d.ctx.apply("ewise", "ewise/"+op, bd, []sparsity.Meta{d.vMeta, o.vMeta}, &outMeta, wall)
+	out = d.ctx.settle("ewise", "ewise/"+op, bd, outMeta, out, nil)
 	return d.derive(out, outMeta, outLocal, bd)
 }
 
@@ -256,6 +281,7 @@ func (d *DistMatrix) Transpose() *DistMatrix {
 	wall := time.Since(start)
 	outMeta, bd, outLocal := d.ctx.Model.Transpose(d.vMeta, d.local)
 	d.ctx.apply("transpose", "transpose", bd, []sparsity.Meta{d.vMeta}, &outMeta, wall)
+	out = d.ctx.settle("transpose", "transpose", bd, outMeta, out, nil)
 	return d.derive(out, outMeta, outLocal, bd)
 }
 
@@ -279,6 +305,7 @@ func (d *DistMatrix) Scale(s float64) *DistMatrix {
 	wall := time.Since(start)
 	outMeta, bd, outLocal := d.ctx.Model.Scale(d.vMeta, d.local)
 	d.ctx.apply("scale", "scale", bd, []sparsity.Meta{d.vMeta}, &outMeta, wall)
+	out = d.ctx.settle("scale", "scale", bd, outMeta, out, nil)
 	return d.derive(out, outMeta, outLocal, bd)
 }
 
@@ -293,6 +320,7 @@ func (d *DistMatrix) AddScalar(s float64) *DistMatrix {
 	wall := time.Since(start)
 	outMeta, bd, outLocal := d.ctx.Model.AddScalar(d.vMeta, d.local)
 	d.ctx.apply("add-scalar", "add-scalar", bd, []sparsity.Meta{d.vMeta}, &outMeta, wall)
+	out = d.ctx.settle("add-scalar", "add-scalar", bd, outMeta, out, nil)
 	return d.derive(out, outMeta, outLocal, bd)
 }
 
@@ -307,7 +335,10 @@ func (d *DistMatrix) Sum() float64 {
 	wall := time.Since(start)
 	outMeta, bd, _ := d.ctx.Model.Sum(d.vMeta, d.local)
 	d.ctx.apply("sum", "sum", bd, []sparsity.Meta{d.vMeta}, &outMeta, wall)
-	return v
+	// Route the scalar through settlement as a 1×1 block so a corruption
+	// landing on the collected partials damages (or is caught on) the sum
+	// like any other payload.
+	return d.ctx.settle("sum", "sum", bd, outMeta, matrix.Scalar(v), nil).ScalarValue()
 }
 
 // chargeWorkers distributes the matrix's virtual bytes across workers by
@@ -378,6 +409,8 @@ func (d *DistMatrix) MulHinted(o *DistMatrix, tsmm bool) *DistMatrix {
 	out := d.data.Mul(o.data)
 	wall := time.Since(start)
 	outMeta, bd, outLocal := d.ctx.Model.MulHinted(d.vMeta, o.vMeta, d.local, o.local, tsmm)
-	d.ctx.apply("mul", "mul/"+bd.Method.String(), bd, []sparsity.Meta{d.vMeta, o.vMeta}, &outMeta, wall)
+	label := "mul/" + bd.Method.String()
+	d.ctx.apply("mul", label, bd, []sparsity.Meta{d.vMeta, o.vMeta}, &outMeta, wall)
+	out = d.ctx.settle("mul", label, bd, outMeta, out, &mulOperands{a: d.data, b: o.data})
 	return d.derive(out, outMeta, outLocal, bd)
 }

@@ -11,12 +11,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"remac/internal/chain"
 	"remac/internal/cluster"
 	"remac/internal/costgraph"
 	"remac/internal/distmat"
 	"remac/internal/fault"
+	"remac/internal/integrity"
 	"remac/internal/lang"
 	"remac/internal/matrix"
 	"remac/internal/opt"
@@ -118,6 +120,16 @@ type RunOptions struct {
 	// loop-constant (LSE) values before computing them; newly computed
 	// values are offered back. See IntermediateCache.
 	Intermediates IntermediateCache
+	// Verify selects the integrity verification mode: off, block digests on
+	// every charged transmission and DFS read, or digests plus ABFT checksum
+	// validation of distributed multiplies. Verification work is charged to
+	// the simulated clock; detected corruptions repair through lineage, and
+	// unrepairable ones fail the run with a typed integrity error.
+	Verify integrity.VerifyMode
+	// NaNGuard selects the non-finite scan cadence (off, per iteration, per
+	// operator); a NaN or Inf caught by the guard fails the run with a
+	// typed numeric error instead of propagating poison.
+	NaNGuard integrity.GuardMode
 }
 
 // Run executes a compiled program over the given inputs on a fresh
@@ -133,16 +145,24 @@ func RunTraced(c *opt.Compiled, inputs map[string]Input, rec *trace.Recorder) (*
 	return RunWithOptions(context.Background(), c, inputs, rec, RunOptions{})
 }
 
-// RunWithOptions is RunTraced with a cancellation context, fault injection
-// and recovery policy attached. Injected faults only ever affect cost
-// accounting — kernels execute for real, so the result matrices are
-// numerically identical to a fault-free run. The context is checked at
-// every plan-node evaluation; when it is cancelled or its deadline passes,
-// the run stops promptly and returns an error wrapping ErrCanceled.
+// RunWithOptions is RunTraced with a cancellation context, fault injection,
+// recovery policy and integrity verification attached. Injected fail-stop
+// faults only ever affect cost accounting — kernels execute for real, so the
+// result matrices are numerically identical to a fault-free run. Injected
+// corruptions are the exception: a flipped bit that escapes the enabled
+// verification mode really damages the affected value, while a detected one
+// is repaired (at a charged lineage cost) back to the bitwise-identical
+// clean payload, or fails the run with an error wrapping
+// integrity.ErrCorruption when the bounded repair budget exhausts. The
+// context is checked at every plan-node evaluation; when it is cancelled or
+// its deadline passes, the run stops promptly and returns an error wrapping
+// ErrCanceled.
 func RunWithOptions(goCtx context.Context, c *opt.Compiled, inputs map[string]Input, rec *trace.Recorder, opts RunOptions) (*Result, error) {
 	cl := cluster.New(c.Config.Cluster)
 	ctx := distmat.NewContext(cl)
 	ctx.Recorder = rec
+	ctx.Verify = opts.Verify
+	ctx.NaNGuard = opts.NaNGuard
 	if opts.Faults.Enabled() {
 		ctx.EnableFaults(opts.Faults)
 	}
@@ -187,8 +207,14 @@ func RunWithOptions(goCtx context.Context, c *opt.Compiled, inputs map[string]In
 			}
 			id := rec.Begin("iteration", fmt.Sprintf("iteration %d", iterations+1))
 			err = e.iteration()
+			if err == nil && opts.NaNGuard == integrity.GuardPerIteration {
+				e.guardIteration()
+			}
 			rec.End(id)
 			if err != nil {
+				return nil, err
+			}
+			if err := ctx.IntegrityErr(); err != nil {
 				return nil, err
 			}
 			iterations++
@@ -201,6 +227,11 @@ func RunWithOptions(goCtx context.Context, c *opt.Compiled, inputs map[string]In
 		if err := e.execStmtTraced(sp); err != nil {
 			return nil, err
 		}
+	}
+	// A corruption or NaN surfaced by the final operator has no later
+	// evaluation to fail — a poisoned run must never return success.
+	if err := ctx.IntegrityErr(); err != nil {
+		return nil, err
 	}
 	return &Result{
 		Env:               e.env,
@@ -338,6 +369,23 @@ func (e *executor) iteration() error {
 	return nil
 }
 
+// guardIteration runs the per-iteration non-finite scan over the bound
+// values (sorted, versioned aliases skipped — they share the bindings their
+// base names resolve to). The scan charges the pass and records the first
+// poison found as the context's typed numeric error.
+func (e *executor) guardIteration() {
+	names := make([]string, 0, len(e.env))
+	for name := range e.env {
+		if baseSym(name) == name {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e.env[name].GuardValue(name)
+	}
+}
+
 // invalidate drops cached values that referenced the reassigned variable.
 func (e *executor) invalidate(name string) {
 	for key, entry := range e.subtreeCache {
@@ -389,6 +437,9 @@ func (e *executor) canceled() error {
 // everything else evaluates structurally.
 func (e *executor) eval(n *plan.Node) (*distmat.DistMatrix, error) {
 	if err := e.canceled(); err != nil {
+		return nil, err
+	}
+	if err := e.ctx.IntegrityErr(); err != nil {
 		return nil, err
 	}
 	if bp, ok := e.blockByOrigin[n]; ok {
@@ -613,6 +664,9 @@ func (e *executor) evalBlock(bp *costgraph.BlockPlan) (*distmat.DistMatrix, erro
 // optimizer produced.
 func (e *executor) evalOpNode(b *chain.Block, n *costgraph.OpNode) (*distmat.DistMatrix, error) {
 	if err := e.canceled(); err != nil {
+		return nil, err
+	}
+	if err := e.ctx.IntegrityErr(); err != nil {
 		return nil, err
 	}
 	if n.ReuseOf != nil {

@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"remac/internal/algorithms"
+	"remac/internal/cluster"
+	"remac/internal/data"
+	"remac/internal/fault"
+	"remac/internal/integrity"
+	"remac/internal/lang"
+	"remac/internal/opt"
+	"remac/internal/sparsity"
+	"remac/internal/trace"
+)
+
+// corruptionPlan returns a fresh corruption-only plan hot enough to land
+// multiple events in a 10²–10³ simulated-second run.
+func corruptionPlan(seed int64) *fault.Plan {
+	return fault.NewPlan(fault.Config{
+		Seed:               seed,
+		CorruptionsPerHour: 720,
+		Workers:            cluster.DefaultConfig().Workers(),
+	})
+}
+
+// TestCorruptionRepairedBitwise is the tentpole contract: under full ABFT
+// verification every injected corruption is detected and repaired, and the
+// repaired results are bitwise identical to the fault-free run.
+func TestCorruptionRepairedBitwise(t *testing.T) {
+	ref := compileAndRun(t, algorithms.DFP, "cri2", opt.Conservative)
+	got := runFaulted(t, algorithms.DFP, "cri2", opt.Conservative, RunOptions{
+		Faults: corruptionPlan(5),
+		Verify: integrity.VerifyABFT,
+	})
+	st := got.Stats
+	if st.CorruptionsInjected == 0 {
+		t.Fatal("no corruption landed; test is vacuous")
+	}
+	if detected := st.CorruptionsDigest + st.CorruptionsABFT; detected != st.CorruptionsInjected {
+		t.Fatalf("detected %d of %d corruptions under ABFT", detected, st.CorruptionsInjected)
+	}
+	if st.IntegrityRepairs == 0 || st.RepairSec <= 0 {
+		t.Fatalf("detection without repair accounting: %+v", st)
+	}
+	if st.VerifySec <= 0 {
+		t.Fatal("verification charged no simulated time")
+	}
+	for name, v := range ref.Env {
+		if !got.Env[name].Data().Equal(v.Data()) {
+			t.Errorf("repaired %s differs bitwise from the fault-free run", name)
+		}
+	}
+}
+
+// TestCorruptionUndetectedPropagates pins the negative space: with
+// verification off the same schedule lands, nothing is detected, and the
+// result really is silently wrong — which is what makes the layer worth its
+// overhead.
+func TestCorruptionUndetectedPropagates(t *testing.T) {
+	ref := compileAndRun(t, algorithms.DFP, "cri2", opt.Conservative)
+	got := runFaulted(t, algorithms.DFP, "cri2", opt.Conservative, RunOptions{
+		Faults: corruptionPlan(5),
+	})
+	st := got.Stats
+	if st.CorruptionsInjected == 0 {
+		t.Fatal("no corruption landed; test is vacuous")
+	}
+	if st.CorruptionsDigest+st.CorruptionsABFT != 0 || st.IntegrityRepairs != 0 {
+		t.Fatalf("verification off but something was detected: %+v", st)
+	}
+	same := true
+	for name, v := range ref.Env {
+		if !got.Env[name].Data().Equal(v.Data()) {
+			same = false
+			_ = name
+		}
+	}
+	if same {
+		t.Fatal("undetected corruption left every result bit-identical")
+	}
+}
+
+// TestCorruptionDeterministic: the same corruption seed must reproduce
+// identical stats and bit-identical (damaged) results.
+func TestCorruptionDeterministic(t *testing.T) {
+	run := func() *Result {
+		return runFaulted(t, algorithms.GD, "cri1", opt.Conservative, RunOptions{
+			Faults: corruptionPlan(9),
+			Verify: integrity.VerifyDigest,
+		})
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Stats, b.Stats) {
+		t.Fatalf("same corruption seed diverged:\n%+v\n%+v", a.Stats, b.Stats)
+	}
+	for name, v := range a.Env {
+		if !b.Env[name].Data().Equal(v.Data()) {
+			t.Errorf("%s differs between identical seeds", name)
+		}
+	}
+}
+
+// TestStickyCorruptionFailsTyped forces the unrepairable path: an at-rest
+// flip under a DFS read (Bits ≡ 63 mod 64) re-reads the same bad bytes on
+// every lineage retry, so the bounded budget exhausts into a typed error.
+func TestStickyCorruptionFailsTyped(t *testing.T) {
+	c := compileFor(t, algorithms.GD, "cri1", opt.Conservative)
+	_, err := RunWithOptions(context.Background(), c, inputsFor(t, algorithms.GD, "cri1"), trace.New(), RunOptions{
+		Faults: fault.FromEvents(fault.Event{At: 1e-9, Kind: fault.Corruption, Bits: 63}),
+		Verify: integrity.VerifyDigest,
+	})
+	if !errors.Is(err, integrity.ErrCorruption) {
+		t.Fatalf("sticky corruption returned %v, want ErrCorruption", err)
+	}
+	var ie *integrity.Error
+	if !errors.As(err, &ie) {
+		t.Fatalf("error is not a typed *integrity.Error: %v", err)
+	}
+	if ie.Attempts < 2 {
+		t.Fatalf("sticky corruption gave up after %d attempts, want a bounded retry budget", ie.Attempts)
+	}
+	if ie.Via != "digest" {
+		t.Fatalf("sticky dfs-read corruption detected via %q, want digest", ie.Via)
+	}
+}
+
+// TestNaNGuardCatchesOverflow: a numerically divergent loop is caught by the
+// guard at both cadences and surfaces as a typed NumericError; without the
+// guard the poisoned run succeeds silently.
+func TestNaNGuardCatchesOverflow(t *testing.T) {
+	const src = "x = read(\"x0\")\ni = 0\nwhile (i < 6) {\n x = x * 1e200\n i = i + 1\n}"
+	ds := data.MustLoad("cri1")
+	metas := map[string]sparsity.Meta{
+		"x0": sparsity.Virtualize(sparsity.MetaOf(ds.InitialX()), ds.VCols, 1),
+	}
+	c, err := opt.Compile(lang.MustParse(src), metas, opt.Config{
+		Strategy: opt.NoElimination, Estimator: sparsity.MNC{},
+		Cluster: cluster.DefaultConfig(), Iterations: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := map[string]Input{"x0": {Data: ds.InitialX(), VRows: ds.VCols, VCols: 1}}
+	run := func(guard integrity.GuardMode) error {
+		_, err := RunWithOptions(context.Background(), c, ins, trace.New(), RunOptions{
+			NaNGuard: guard,
+		})
+		return err
+	}
+	if err := run(integrity.GuardOff); err != nil {
+		t.Fatalf("unguarded divergent run failed: %v", err)
+	}
+	for _, guard := range []integrity.GuardMode{integrity.GuardPerIteration, integrity.GuardPerOp} {
+		err := run(guard)
+		if !errors.Is(err, integrity.ErrNonFinite) {
+			t.Fatalf("guard %v returned %v, want ErrNonFinite", guard, err)
+		}
+		var ne *integrity.NumericError
+		if !errors.As(err, &ne) {
+			t.Fatalf("guard %v error is not a typed *integrity.NumericError: %v", guard, err)
+		}
+	}
+}
+
+// TestVerifySpansMatchStats upholds the stats-equals-spans invariant for the
+// integrity layer: the simulated seconds of "integrity" spans must equal the
+// VerifySec the cluster accounted, and repair spans must equal RepairSec.
+func TestVerifySpansMatchStats(t *testing.T) {
+	got := runFaulted(t, algorithms.DFP, "cri2", opt.Conservative, RunOptions{
+		Faults: corruptionPlan(5),
+		Verify: integrity.VerifyABFT,
+	})
+	verifySec, repairSec := 0.0, 0.0
+	for _, sp := range got.Trace.Spans() {
+		switch sp.Kind {
+		case "integrity":
+			verifySec += sp.ComputeSec + sp.TransmitSec
+		case "recovery":
+			repairSec += sp.RecoverySec
+		}
+	}
+	if !approx(verifySec, got.Stats.VerifySec) {
+		t.Errorf("integrity spans %.6f s, stats VerifySec %.6f s", verifySec, got.Stats.VerifySec)
+	}
+	if !approx(repairSec, got.Stats.RepairSec) {
+		t.Errorf("recovery spans %.6f s, stats RepairSec %.6f s", repairSec, got.Stats.RepairSec)
+	}
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	s := a + b
+	if s < 0 {
+		s = -s
+	}
+	return d <= 1e-9+1e-9*s
+}

@@ -15,7 +15,11 @@
 // elsewhere: internal/cluster charges retries, backoff and retransmission,
 // and internal/distmat charges lineage recomputation (or checkpoint
 // re-reads) for blocks lost to worker failures. Kernels always execute
-// exactly once for real, so injected faults never change numerical results.
+// exactly once for real, so the fail-stop kinds never change numerical
+// results. The one exception is Corruption: a flipped payload bit that
+// escapes the run's verification mode (see internal/integrity) really does
+// mutate the affected value, so undetected corruptions — and only those —
+// surface as silently wrong answers.
 package fault
 
 import (
@@ -41,6 +45,12 @@ const (
 	// on its slowest task, so the operator's time stretches by the
 	// straggler factor.
 	Straggler
+	// Corruption silently flips a bit in a block payload of the operator
+	// executing when it fires — in flight on the wire or at rest under a
+	// DFS read. Unlike the fail-stop kinds it carries no intrinsic cost:
+	// whether it is caught (and repaired from lineage) or propagates into
+	// results depends entirely on the verification mode the run enabled.
+	Corruption
 	numKinds
 )
 
@@ -53,6 +63,8 @@ func (k Kind) String() string {
 		return "transmission-error"
 	case Straggler:
 		return "straggler"
+	case Corruption:
+		return "corruption"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -68,6 +80,10 @@ type Event struct {
 	Worker int
 	// Factor is the slowdown multiplier (> 1, Straggler only).
 	Factor float64
+	// Bits is the corruption entropy (Corruption only): which block, which
+	// landing (in flight vs. at rest) and which bit are all derived from it,
+	// so the damage a schedule does is as deterministic as its timing.
+	Bits uint64
 }
 
 // DefaultStragglerFactor stretches a straggled operator to 2x its time,
@@ -90,6 +106,8 @@ type Config struct {
 	TransmitErrorsPerHour float64
 	// StragglersPerHour schedules straggler slowdowns.
 	StragglersPerHour float64
+	// CorruptionsPerHour schedules silent payload bit flips.
+	CorruptionsPerHour float64
 	// StragglerFactor is the slowdown multiplier (default
 	// DefaultStragglerFactor).
 	StragglerFactor float64
@@ -143,7 +161,8 @@ type Plan struct {
 // NewPlan builds a rate-based plan. It returns nil when every rate is zero,
 // so callers can treat "no faults configured" and "no plan" uniformly.
 func NewPlan(cfg Config) *Plan {
-	if cfg.WorkerFailuresPerHour <= 0 && cfg.TransmitErrorsPerHour <= 0 && cfg.StragglersPerHour <= 0 {
+	if cfg.WorkerFailuresPerHour <= 0 && cfg.TransmitErrorsPerHour <= 0 &&
+		cfg.StragglersPerHour <= 0 && cfg.CorruptionsPerHour <= 0 {
 		return nil
 	}
 	if cfg.StragglerFactor <= 1 {
@@ -215,6 +234,7 @@ func (p *Plan) NewInjector() *Injector {
 	add(WorkerFailure, p.cfg.WorkerFailuresPerHour)
 	add(TransmissionError, p.cfg.TransmitErrorsPerHour)
 	add(Straggler, p.cfg.StragglersPerHour)
+	add(Corruption, p.cfg.CorruptionsPerHour)
 	return inj
 }
 
@@ -239,6 +259,8 @@ func (s *stream) draw(t float64) {
 		ev.Worker = s.rng.Intn(s.cfg.Workers)
 	case Straggler:
 		ev.Factor = s.cfg.StragglerFactor
+	case Corruption:
+		ev.Bits = s.rng.Uint64()
 	}
 	s.next = ev
 }

@@ -3,6 +3,7 @@ package fault
 import (
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -124,11 +125,31 @@ func TestKindString(t *testing.T) {
 		WorkerFailure:     "worker-failure",
 		TransmissionError: "transmission-error",
 		Straggler:         "straggler",
+		Corruption:        "corruption",
 	}
 	for k, want := range names {
 		if k.String() != want {
 			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
 		}
+	}
+}
+
+// TestKindStringExhaustive catches a Kind added without a String case: every
+// kind below numKinds must have a real name, not the Kind(%d) fallback.
+func TestKindStringExhaustive(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); k < numKinds; k++ {
+		s := k.String()
+		if strings.HasPrefix(s, "Kind(") {
+			t.Errorf("Kind(%d) has no String case", int(k))
+		}
+		if seen[s] {
+			t.Errorf("Kind(%d) reuses the name %q", int(k), s)
+		}
+		seen[s] = true
+	}
+	if s := numKinds.String(); !strings.HasPrefix(s, "Kind(") {
+		t.Errorf("numKinds.String() = %q, want the Kind(%%d) fallback", s)
 	}
 }
 

@@ -1,0 +1,51 @@
+package integrity
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorruption is the class sentinel every unrepairable-corruption error
+// matches via errors.Is.
+var ErrCorruption = errors.New("integrity: corrupted block")
+
+// Error reports a detected corruption that lineage repair could not clear
+// within the bounded retry budget (an at-rest flip re-reads the same bad
+// bytes every attempt).
+type Error struct {
+	// Op labels the operator whose payload was corrupted.
+	Op string
+	// Via is the detector that fired: "digest" or "abft".
+	Via string
+	// Attempts counts the repair attempts charged before giving up.
+	Attempts int
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("integrity: corrupted block in %s (detected by %s, unrepaired after %d attempts)", e.Op, e.Via, e.Attempts)
+}
+
+// Unwrap makes errors.Is(err, ErrCorruption) match.
+func (e *Error) Unwrap() error { return ErrCorruption }
+
+// ErrNonFinite is the class sentinel every non-finite-value error matches
+// via errors.Is.
+var ErrNonFinite = errors.New("integrity: non-finite value")
+
+// NumericError reports a NaN or Inf caught by the non-finite guard — a
+// divergent iteration, not an injected fault.
+type NumericError struct {
+	// Op labels the scan that caught it (operator or iteration variable).
+	Op string
+	// Row, Col locate the first poisoned element.
+	Row, Col int
+	// Value is the offending value.
+	Value float64
+}
+
+func (e *NumericError) Error() string {
+	return fmt.Sprintf("integrity: non-finite value %v at (%d,%d) in %s", e.Value, e.Row, e.Col, e.Op)
+}
+
+// Unwrap makes errors.Is(err, ErrNonFinite) match.
+func (e *NumericError) Unwrap() error { return ErrNonFinite }

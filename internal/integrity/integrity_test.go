@@ -1,0 +1,162 @@
+package integrity
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"remac/internal/matrix"
+)
+
+func TestDigestDeterministicAndSensitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := matrix.RandSparse(rng, 20, 30, 0.2)
+	if Digest(m) != Digest(m.Clone()) {
+		t.Fatal("digest differs between clones")
+	}
+	c, ok := Corrupt(m, 0xDEADBEEF)
+	if !ok {
+		t.Fatal("corrupt failed on a nonzero matrix")
+	}
+	if Digest(c) == Digest(m) {
+		t.Fatal("digest blind to a flipped bit")
+	}
+	if m.Equal(c) {
+		t.Fatal("Corrupt mutated nothing")
+	}
+}
+
+func TestCorruptNeverMutatesOriginal(t *testing.T) {
+	m := matrix.NewDense(2, 2)
+	m.Set(0, 0, 3)
+	before := m.Clone()
+	for bits := uint64(0); bits < 64; bits++ {
+		if _, ok := Corrupt(m, bits<<8); !ok {
+			t.Fatal("corrupt failed")
+		}
+		if !m.Equal(before) {
+			t.Fatalf("bits %d mutated the original", bits)
+		}
+	}
+}
+
+func TestABFTCheckPassesRealProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, sp := range []float64{1.0, 0.1} {
+		a := matrix.RandSparse(rng, 40, 25, sp)
+		b := matrix.RandSparse(rng, 25, 30, sp)
+		c := a.Mul(b)
+		if !ABFTCheck(a, b, c) {
+			t.Fatalf("ABFT rejects an exact product (sparsity %g)", sp)
+		}
+	}
+}
+
+func TestABFTCheckCatchesCorruptProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := matrix.RandDense(rng, 12, 8)
+	b := matrix.RandDense(rng, 8, 9)
+	c := a.Mul(b)
+	for bits := uint64(0); bits < 32; bits++ {
+		bad, ok := Corrupt(c, bits<<8)
+		if !ok {
+			t.Fatal("corrupt failed")
+		}
+		if ABFTCheck(a, b, bad) {
+			t.Fatalf("ABFT passed a corrupted product (bits %d)", bits)
+		}
+	}
+}
+
+func TestABFTCheckFailsOnNonFinite(t *testing.T) {
+	a := matrix.Identity(3)
+	b := matrix.Identity(3)
+	c := matrix.Identity(3)
+	c.Set(1, 1, math.NaN())
+	if ABFTCheck(a, b, c) {
+		t.Fatal("ABFT passed a NaN product")
+	}
+	c.Set(1, 1, math.Inf(1))
+	if ABFTCheck(a, b, c) {
+		t.Fatal("ABFT passed an Inf product")
+	}
+}
+
+func TestScanNonFinite(t *testing.T) {
+	m := matrix.NewDense(3, 3)
+	if _, _, _, found := ScanNonFinite(m); found {
+		t.Fatal("found poison in a zero matrix")
+	}
+	m.Set(2, 1, math.NaN())
+	i, j, v, found := ScanNonFinite(m)
+	if !found || i != 2 || j != 1 || !math.IsNaN(v) {
+		t.Fatalf("scan = (%d,%d,%g,%v), want (2,1,NaN,true)", i, j, v, found)
+	}
+	s := m.ToCSR()
+	if _, _, _, found := ScanNonFinite(s); !found {
+		t.Fatal("CSR scan missed the NaN")
+	}
+}
+
+func TestParseModes(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want VerifyMode
+	}{{"", VerifyOff}, {"off", VerifyOff}, {"digest", VerifyDigest}, {"abft", VerifyABFT}} {
+		got, err := ParseVerifyMode(c.in)
+		if err != nil || got != c.want {
+			t.Fatalf("ParseVerifyMode(%q) = %v, %v", c.in, got, err)
+		}
+		if got.String() != c.in && c.in != "" {
+			t.Fatalf("VerifyMode round-trip broke on %q", c.in)
+		}
+	}
+	if _, err := ParseVerifyMode("bogus"); err == nil {
+		t.Fatal("bogus verify mode accepted")
+	}
+	for _, c := range []struct {
+		in   string
+		want GuardMode
+	}{{"", GuardOff}, {"off", GuardOff}, {"iter", GuardPerIteration}, {"op", GuardPerOp}} {
+		got, err := ParseGuardMode(c.in)
+		if err != nil || got != c.want {
+			t.Fatalf("ParseGuardMode(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ParseGuardMode("bogus"); err == nil {
+		t.Fatal("bogus guard mode accepted")
+	}
+}
+
+func TestTypedErrorsUnwrap(t *testing.T) {
+	var err error = &Error{Op: "dfs-read", Via: "digest", Attempts: 3}
+	if !errors.Is(err, ErrCorruption) {
+		t.Fatal("Error does not unwrap to ErrCorruption")
+	}
+	var ie *Error
+	if !errors.As(err, &ie) || ie.Attempts != 3 {
+		t.Fatal("errors.As lost the Error fields")
+	}
+	var nerr error = &NumericError{Op: "mul/bmm", Row: 1, Col: 2, Value: math.Inf(1)}
+	if !errors.Is(nerr, ErrNonFinite) {
+		t.Fatal("NumericError does not unwrap to ErrNonFinite")
+	}
+	if errors.Is(nerr, ErrCorruption) || errors.Is(err, ErrNonFinite) {
+		t.Fatal("sentinels cross-match")
+	}
+}
+
+func TestColumnChecksum(t *testing.T) {
+	m := matrix.NewDense(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 0, 2)
+	m.Set(1, 2, -4)
+	got := ColumnChecksum(m)
+	want := []float64{3, 0, -4}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("checksum[%d] = %g, want %g", j, got[j], want[j])
+		}
+	}
+}

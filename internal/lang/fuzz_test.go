@@ -1,0 +1,61 @@
+package lang
+
+import "testing"
+
+// fuzzSeeds covers the grammar: assignments, while loops, calls, pragmas,
+// comments, strings, exponent literals and every operator.
+var fuzzSeeds = []string{
+	"x = read(\"A\")",
+	"A = read(\"A\")\nH = t(A) %*% A\nwrite(H, \"H\")",
+	"# comment\n#@ manual cse t(A)*A\nx = read(\"x0\")\ni = 0\nwhile (i < 5) { x = x * 2\n i = i + 1 }",
+	"g = (t(A) %*% (A %*% x) - b) / n",
+	"x = 1e200 * -2.5E-3 + 0.4",
+	"d = sum(p * q)\nalpha = rho / d",
+	"W = W * (V %*% t(H)) / (W %*% (H %*% t(H)))",
+	"while (norm > eps) { }",
+	"x = {",
+	"y = \"unterminated",
+	"z = 1e",
+	"%%",
+}
+
+// FuzzParse asserts the parser never panics: any input either parses or
+// returns an error.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = Parse(src)
+	})
+}
+
+// FuzzCanonical asserts Canonical is a fixpoint over parseable scripts: the
+// canonical form of any script that lexes and parses must itself parse, and
+// canonicalizing it again must return it unchanged. Serve's plan cache keys
+// on the canonical text, so a drifting fixpoint would split or alias cache
+// entries.
+func FuzzCanonical(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c1, err := Canonical(src)
+		if err != nil {
+			return
+		}
+		if _, err := Parse(src); err != nil {
+			return
+		}
+		if _, err := Parse(c1); err != nil {
+			t.Fatalf("canonical form of a parseable script fails to parse: %v\nsrc: %q\ncanonical: %q", err, src, c1)
+		}
+		c2, err := Canonical(c1)
+		if err != nil {
+			t.Fatalf("canonical form fails to re-canonicalize: %v\ncanonical: %q", err, c1)
+		}
+		if c2 != c1 {
+			t.Fatalf("canonical form is not a fixpoint:\nfirst:  %q\nsecond: %q", c1, c2)
+		}
+	})
+}

@@ -210,6 +210,52 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
+// FlipValueBit returns a copy of the matrix with the given bit XOR-ed into
+// the float64 payload of its (k mod n)-th numerically nonzero stored value,
+// counting in row-major order over the n such values. The receiver is never
+// mutated (sparse matrices are immutable, and blocks are shared). ok is
+// false — and the receiver is returned unchanged — when the matrix stores no
+// nonzero value. Counting only nonzero *values* (CSR blocks may store
+// explicit zeros) keeps the choice of victim independent of the physical
+// format, like the integrity digest.
+func (m *Matrix) FlipValueBit(k, bit int) (flipped *Matrix, ok bool) {
+	n := m.NNZ()
+	if m.format == CSR {
+		n = 0
+		for _, v := range m.vals {
+			if v != 0 {
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return m, false
+	}
+	if k < 0 {
+		k = -k
+	}
+	k %= n
+	c := m.Clone()
+	flip := func(vals []float64) {
+		for i, v := range vals {
+			if v == 0 {
+				continue
+			}
+			if k == 0 {
+				vals[i] = math.Float64frombits(math.Float64bits(v) ^ (1 << uint(bit)))
+				return
+			}
+			k--
+		}
+	}
+	if c.format == Dense {
+		flip(c.data)
+	} else {
+		flip(c.vals)
+	}
+	return c, true
+}
+
 // Equal reports exact element-wise equality.
 func (m *Matrix) Equal(other *Matrix) bool {
 	return m.ApproxEqual(other, 0)

@@ -22,6 +22,7 @@ import (
 	"remac/internal/data"
 	"remac/internal/engine"
 	"remac/internal/fault"
+	"remac/internal/integrity"
 	"remac/internal/matrix"
 	"remac/internal/resilience"
 	"remac/internal/serve"
@@ -38,12 +39,14 @@ const (
 	kindPanic                      // probe panics every attempt: structured Internal error
 	kindTimeout                    // microsecond deadline: canceled, queued or running
 	kindDivergent                  // MaxIterations=1 bomb: typed MaxIterations error
+	kindCorrupt                    // silent corruption + ABFT: bitwise-repaired or typed Integrity error
+	kindNaN                        // overflowing loop + per-op guard: typed Numeric error
 )
 
-// kindOf deterministically assigns a kind to a storm index: ~60% healthy,
-// ~10% each of the four failure modes.
+// kindOf deterministically assigns a kind to a storm index: ~50% healthy,
+// ~8% each of the six failure modes.
 func kindOf(i int) queryKind {
-	switch h := uint64(fault.DeriveSeed(chaosSeed, i)) % 10; {
+	switch h := uint64(fault.DeriveSeed(chaosSeed, i)) % 12; {
 	case h < 6:
 		return kindHealthy
 	case h < 7:
@@ -52,8 +55,12 @@ func kindOf(i int) queryKind {
 		return kindPanic
 	case h < 9:
 		return kindTimeout
-	default:
+	case h < 10:
 		return kindDivergent
+	case h < 11:
+		return kindCorrupt
+	default:
+		return kindNaN
 	}
 }
 
@@ -88,6 +95,20 @@ func chaosQuery(t testing.TB, v variant) serve.Query {
 	})
 	q.Dataset = "cri1"
 	q.Iterations = v.iters
+	return q
+}
+
+// nanQuery builds a numerically divergent query: x0 is nonzero, so repeated
+// scaling by 1e200 overflows to Inf within two iterations.
+func nanQuery(t testing.TB) serve.Query {
+	t.Helper()
+	const src = "x = read(\"x0\")\ni = 0\nwhile (i < 6) {\n x = x * 1e200\n i = i + 1\n}"
+	ds := data.MustLoad("cri1")
+	q := serve.NewQuery(src, map[string]engine.Input{
+		"x0": {Data: ds.InitialX(), VRows: ds.VCols, VCols: 1},
+	})
+	q.Dataset = "cri1-nan"
+	q.Iterations = 6
 	return q
 }
 
@@ -160,6 +181,13 @@ func TestChaosSoak(t *testing.T) {
 		StragglersPerHour:     120,
 		Workers:               8,
 	})
+	// A separate root for the corruption clients: silent bit flips at a rate
+	// that lands multiple events per query, verified end to end by ABFT.
+	corruptFaults := fault.NewPlan(fault.Config{
+		Seed:               chaosSeed ^ 0xC0DE,
+		CorruptionsPerHour: 720,
+		Workers:            8,
+	})
 
 	s := serve.New(serve.Config{
 		Workers:    4,
@@ -206,6 +234,12 @@ func TestChaosSoak(t *testing.T) {
 					defer cancel()
 				case kindDivergent:
 					q.MaxIterations = 1
+				case kindCorrupt:
+					q.Faults = corruptFaults.Derive(i)
+					q.Verify = integrity.VerifyABFT
+				case kindNaN:
+					q = nanQuery(t)
+					q.NaNGuard = integrity.GuardPerOp
 				}
 				res, err := s.Do(ctx, q)
 				outcomes[i] = outcome{idx: i, kind: kind, res: res, err: err}
@@ -229,7 +263,7 @@ func TestChaosSoak(t *testing.T) {
 		t.Fatal("storm did not settle: a Do call is stuck")
 	}
 
-	var ok, shed, canceled, internal, divergent int
+	var ok, shed, canceled, internal, divergent, repaired, unrepaired, numeric int
 	for _, o := range outcomes {
 		// Any kind may be shed by admission control; that is an availability
 		// cost, never a correctness one.
@@ -278,6 +312,33 @@ func TestChaosSoak(t *testing.T) {
 				continue
 			}
 			divergent++
+		case kindCorrupt:
+			// The integrity contract: a corrupted query either repairs to the
+			// bitwise-identical fault-free result or fails with a typed
+			// Integrity error — never a silently wrong success.
+			if o.err != nil {
+				if !errors.Is(o.err, resilience.ErrIntegrity) || !errors.Is(o.err, integrity.ErrCorruption) {
+					t.Errorf("query %d: corrupted query returned %v, want integrity class", o.idx, o.err)
+					continue
+				}
+				unrepaired++
+				continue
+			}
+			ok++
+			repaired++
+			if err := bitwiseEqualValues(o.res.Values, refs[variantOf(o.idx)]); err != nil {
+				t.Errorf("query %d: corrupted query succeeded with a wrong result: %v", o.idx, err)
+			}
+		case kindNaN:
+			if o.err == nil {
+				t.Errorf("query %d: NaN-divergent query returned silent success", o.idx)
+				continue
+			}
+			if !errors.Is(o.err, resilience.ErrNumeric) || !errors.Is(o.err, integrity.ErrNonFinite) {
+				t.Errorf("query %d: NaN query returned %v, want numeric class", o.idx, o.err)
+				continue
+			}
+			numeric++
 		}
 	}
 	if ok == 0 {
@@ -286,8 +347,8 @@ func TestChaosSoak(t *testing.T) {
 	if internal == 0 && !testing.Short() {
 		t.Error("no panic probe surfaced an Internal error (storm mixture broken?)")
 	}
-	t.Logf("storm: %d ok, %d shed, %d canceled, %d internal, %d divergent of %d",
-		ok, shed, canceled, internal, divergent, storm)
+	t.Logf("storm: %d ok, %d shed, %d canceled, %d internal, %d divergent, %d repaired, %d unrepaired, %d numeric of %d",
+		ok, shed, canceled, internal, divergent, repaired, unrepaired, numeric, storm)
 
 	// The server must still serve after the storm — panic probes and an
 	// open-then-recovered breaker may not wedge it.
@@ -347,12 +408,12 @@ func TestChaosStormDeterministicMixture(t *testing.T) {
 		}
 		counts[kindOf(i)]++
 	}
-	if h := counts[kindHealthy]; h < 500 || h > 700 {
-		t.Errorf("healthy fraction %d/1000, want ~600", h)
+	if h := counts[kindHealthy]; h < 400 || h > 600 {
+		t.Errorf("healthy fraction %d/1000, want ~500", h)
 	}
-	for _, k := range []queryKind{kindFlaky, kindPanic, kindTimeout, kindDivergent} {
-		if c := counts[k]; c < 50 || c > 160 {
-			t.Errorf("kind %d fraction %d/1000, want ~100", k, c)
+	for _, k := range []queryKind{kindFlaky, kindPanic, kindTimeout, kindDivergent, kindCorrupt, kindNaN} {
+		if c := counts[k]; c < 40 || c > 140 {
+			t.Errorf("kind %d fraction %d/1000, want ~83", k, c)
 		}
 	}
 }

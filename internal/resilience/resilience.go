@@ -47,6 +47,14 @@ const (
 	// MaxIterations is a loop that never met its condition before the
 	// iteration cap — a divergent program, not a server fault.
 	MaxIterations
+	// Integrity is a detected data corruption that lineage repair could not
+	// clear within its bounded budget — an infrastructure fault, so it
+	// counts against the breaker like Internal. Not retryable by policy:
+	// an at-rest corruption re-reads the same bad bytes on every attempt.
+	Integrity
+	// Numeric is a non-finite value (NaN/Inf) caught by the engine's guard
+	// — a divergent program like MaxIterations, not a server fault.
+	Numeric
 )
 
 // String names the class as it appears in error text and JSON bodies.
@@ -64,6 +72,10 @@ func (c Class) String() string {
 		return "execution"
 	case MaxIterations:
 		return "max-iterations"
+	case Integrity:
+		return "integrity"
+	case Numeric:
+		return "numeric"
 	default:
 		return fmt.Sprintf("Class(%d)", int(c))
 	}
@@ -78,6 +90,8 @@ var (
 	ErrCompile       = errors.New("resilience: compile error")
 	ErrExecution     = errors.New("resilience: execution error")
 	ErrMaxIterations = errors.New("resilience: max iterations exceeded")
+	ErrIntegrity     = errors.New("resilience: integrity error")
+	ErrNumeric       = errors.New("resilience: numeric error")
 )
 
 // Sentinel returns the class's matchable sentinel error.
@@ -93,6 +107,10 @@ func (c Class) Sentinel() error {
 		return ErrExecution
 	case MaxIterations:
 		return ErrMaxIterations
+	case Integrity:
+		return ErrIntegrity
+	case Numeric:
+		return ErrNumeric
 	default:
 		return ErrInternal
 	}
@@ -110,10 +128,12 @@ func (c Class) HTTPStatus() int {
 		return http.StatusGatewayTimeout // 504
 	case Compile:
 		return http.StatusBadRequest // 400
-	case MaxIterations:
+	case MaxIterations, Numeric:
 		return http.StatusUnprocessableEntity // 422: valid program, divergent
 	default:
-		return http.StatusInternalServerError // 500
+		// Internal, unrepaired Integrity and non-transient Execution are
+		// server-side faults: 500.
+		return http.StatusInternalServerError
 	}
 }
 

@@ -35,6 +35,12 @@ type metrics struct {
 	hedges   uint64
 	hedgeWin uint64
 
+	corrInjected uint64
+	corrDigest   uint64
+	corrABFT     uint64
+	corrRepairs  uint64
+	repairSec    float64
+
 	lat     [latencyWindow]float64
 	latIdx  int
 	latFull bool
@@ -142,6 +148,18 @@ func (m *metrics) hedgeWon() {
 	m.mu.Unlock()
 }
 
+// integrityCounts folds one query's corruption accounting into the
+// server-wide totals.
+func (m *metrics) integrityCounts(injected, byDigest, byABFT, repairs int, repairSec float64) {
+	m.mu.Lock()
+	m.corrInjected += uint64(injected)
+	m.corrDigest += uint64(byDigest)
+	m.corrABFT += uint64(byABFT)
+	m.corrRepairs += uint64(repairs)
+	m.repairSec += repairSec
+	m.mu.Unlock()
+}
+
 // latencyQuantile reads a percentile of the current window without
 // snapshotting everything (the hedge trigger calls it per query).
 func (m *metrics) latencyQuantile(p float64) float64 {
@@ -198,6 +216,14 @@ type Snapshot struct {
 	HedgesWon       uint64                     `json:"hedges_won"`
 	BreakerState    string                     `json:"breaker_state"`
 	Breaker         resilience.BreakerCounters `json:"breaker"`
+
+	// Integrity counters: corruptions that landed in served queries, split
+	// by which verification layer caught them, plus lineage repair work.
+	CorruptionsInjected uint64  `json:"corruptions_injected"`
+	CorruptionsDigest   uint64  `json:"corruptions_detected_digest"`
+	CorruptionsABFT     uint64  `json:"corruptions_detected_abft"`
+	IntegrityRepairs    uint64  `json:"integrity_repairs"`
+	RepairSec           float64 `json:"repair_sec"`
 }
 
 func (m *metrics) snapshot() Snapshot {
@@ -221,6 +247,12 @@ func (m *metrics) snapshot() Snapshot {
 		Retries:         m.retries,
 		Hedges:          m.hedges,
 		HedgesWon:       m.hedgeWin,
+
+		CorruptionsInjected: m.corrInjected,
+		CorruptionsDigest:   m.corrDigest,
+		CorruptionsABFT:     m.corrABFT,
+		IntegrityRepairs:    m.corrRepairs,
+		RepairSec:           m.repairSec,
 	}
 	if s.UptimeSec > 0 {
 		s.QPS = float64(s.Completed) / s.UptimeSec

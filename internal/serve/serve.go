@@ -42,6 +42,7 @@ import (
 	"remac/internal/cluster"
 	"remac/internal/engine"
 	"remac/internal/fault"
+	"remac/internal/integrity"
 	"remac/internal/lang"
 	"remac/internal/matrix"
 	"remac/internal/opt"
@@ -151,6 +152,14 @@ type Query struct {
 	// Checkpoint persists LSE-hoisted intermediates to simulated DFS (see
 	// engine.RunOptions.Checkpoint).
 	Checkpoint bool
+	// Verify selects the integrity verification mode for this query's run
+	// (see engine.RunOptions.Verify): detected corruptions repair through
+	// lineage, unrepairable ones fail with an Integrity-class error.
+	Verify integrity.VerifyMode
+	// NaNGuard selects the non-finite scan cadence (see
+	// engine.RunOptions.NaNGuard); caught poison fails with a Numeric-class
+	// error instead of a silently wrong result.
+	NaNGuard integrity.GuardMode
 	// Trace attaches a span recorder to the run (returned on the result).
 	Trace bool
 	// NoPlanCache / NoIntermediateCache opt this query out of the shared
@@ -195,6 +204,11 @@ type QueryResult struct {
 	// HedgeWon marks a result produced by a hedged duplicate execution
 	// that beat the straggling primary.
 	HedgeWon bool
+	// CorruptionsInjected / CorruptionsDetected / IntegrityRepairs report
+	// the run's integrity accounting: payload corruptions that landed, how
+	// many the enabled verification mode caught (digest + ABFT), and the
+	// lineage repair attempts they cost.
+	CorruptionsInjected, CorruptionsDetected, IntegrityRepairs int
 	// SelectedKeys are the applied elimination option keys (sorted).
 	SelectedKeys []string
 	// Trace is the query's span recorder (nil unless Query.Trace).
@@ -418,9 +432,11 @@ func (s *Server) recordOutcome(err error) {
 		return
 	}
 	switch class, _ := resilience.ClassOf(err); class {
-	case resilience.Execution, resilience.Internal:
+	case resilience.Execution, resilience.Internal, resilience.Integrity:
 		s.breaker.Record(false)
 	default:
+		// Canceled, compile errors, divergent loops and numeric divergence
+		// are client-caused; overload releases without an outcome.
 		s.breaker.Forgive()
 	}
 }
@@ -571,6 +587,10 @@ func (s *Server) classify(id uint64, stage string, err error) error {
 		class = resilience.Canceled
 	case errors.Is(err, engine.ErrMaxIterations):
 		class = resilience.MaxIterations
+	case errors.Is(err, integrity.ErrCorruption):
+		class = resilience.Integrity
+	case errors.Is(err, integrity.ErrNonFinite):
+		class = resilience.Numeric
 	case stage == "compile":
 		class = resilience.Compile
 	}
@@ -635,6 +655,8 @@ func (s *Server) execute(ctx context.Context, q Query) (*QueryResult, error) {
 		Faults:        q.Faults,
 		Checkpoint:    q.Checkpoint,
 		Intermediates: inter,
+		Verify:        q.Verify,
+		NaNGuard:      q.NaNGuard,
 	})
 	if err != nil {
 		return nil, s.classify(0, "execute", err)
@@ -659,6 +681,13 @@ func (s *Server) execute(ctx context.Context, q Query) (*QueryResult, error) {
 	if view != nil {
 		out.IntermediateHits, out.IntermediateMisses = view.hits, view.misses
 		s.metrics.interCounts(view.hits, view.misses)
+	}
+	st := res.Stats
+	out.CorruptionsInjected = st.CorruptionsInjected
+	out.CorruptionsDetected = st.CorruptionsDigest + st.CorruptionsABFT
+	out.IntegrityRepairs = st.IntegrityRepairs
+	if st.CorruptionsInjected > 0 || st.IntegrityRepairs > 0 {
+		s.metrics.integrityCounts(st.CorruptionsInjected, st.CorruptionsDigest, st.CorruptionsABFT, st.IntegrityRepairs, st.RepairSec)
 	}
 	return out, nil
 }

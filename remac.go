@@ -11,6 +11,7 @@ import (
 	"remac/internal/costgraph"
 	"remac/internal/engine"
 	"remac/internal/fault"
+	"remac/internal/integrity"
 	"remac/internal/lang"
 	"remac/internal/opt"
 	"remac/internal/sparsity"
@@ -305,10 +306,13 @@ func (p *Program) Explain() string {
 }
 
 // FaultConfig schedules deterministic fault injection against the simulated
-// clock: the same seed and rates always reproduce the same fault sequence,
-// and injected faults only ever affect cost accounting — result matrices are
-// numerically identical to a fault-free run. All rates are events per
-// simulated hour of cluster work; zero rates everywhere disable injection.
+// clock: the same seed and rates always reproduce the same fault sequence.
+// Fail-stop faults (failures, transmit errors, stragglers) only ever affect
+// cost accounting — result matrices stay numerically identical to a
+// fault-free run. Corruption is the deliberate exception: an undetected
+// corruption flips a real payload bit and propagates, which is exactly what
+// RunOptions.Verify exists to catch. All rates are events per simulated hour
+// of cluster work; zero rates everywhere disable injection.
 type FaultConfig struct {
 	// Seed selects the fault schedule (per-kind streams are independent).
 	Seed int64
@@ -326,6 +330,11 @@ type FaultConfig struct {
 	StragglerFactor float64
 	// BackoffBaseSec is the first-retry backoff delay. Default 1s.
 	BackoffBaseSec float64
+	// CorruptionsPerHour flips one bit in a payload in flight or in a
+	// distributed multiply's compute phase. Detection (and hence repair)
+	// depends on RunOptions.Verify; an undetected flip propagates into the
+	// result.
+	CorruptionsPerHour float64
 }
 
 // RunOptions configures the run-time behavior of an execution. The zero
@@ -338,6 +347,16 @@ type RunOptions struct {
 	Checkpoint bool
 	// MaxIterations overrides the engine's runaway-loop cap when positive.
 	MaxIterations int
+	// Verify selects integrity verification: "off" (or ""), "digest" (block
+	// checksums on every charged transmission and DFS read) or "abft"
+	// (digest plus checksum-vector verification of distributed multiplies).
+	// Detected corruptions repair through lineage at simulated cost;
+	// unrepairable ones fail the run with integrity.Error.
+	Verify string
+	// NaNGuard selects non-finite scanning: "off" (or ""), "iter" (scan
+	// loop variables each iteration) or "op" (scan every operator output).
+	// A caught NaN/Inf fails the run with integrity.NumericError.
+	NaNGuard string
 }
 
 func (f *FaultConfig) internal(workers int) *fault.Plan {
@@ -351,6 +370,7 @@ func (f *FaultConfig) internal(workers int) *fault.Plan {
 		StragglersPerHour:     f.StragglersPerHour,
 		StragglerFactor:       f.StragglerFactor,
 		BackoffBaseSec:        f.BackoffBaseSec,
+		CorruptionsPerHour:    f.CorruptionsPerHour,
 		Workers:               workers,
 	})
 }
@@ -390,6 +410,22 @@ type Report struct {
 	RecomputeFLOP float64
 	// FailedWorkers counts injected worker-failure events.
 	FailedWorkers int
+
+	// Integrity accounting (all zero unless corruption was injected or a
+	// verification mode was on).
+	//
+	// CorruptionsInjected counts corruption events that landed in a payload.
+	CorruptionsInjected int
+	// CorruptionsDetected splits detections by layer: block digests on
+	// transmissions vs the ABFT multiply check.
+	CorruptionsDetectedDigest, CorruptionsDetectedABFT int
+	// IntegrityRepairs counts lineage repair attempts; RepairSeconds is their
+	// simulated cost (included in RecoverySeconds).
+	IntegrityRepairs int
+	RepairSeconds    float64
+	// VerifySeconds is the simulated cost of the enabled verification mode
+	// (included in ComputeSeconds).
+	VerifySeconds float64
 }
 
 // Run executes the compiled program on a fresh simulated cluster.
@@ -415,6 +451,13 @@ func (p *Program) RunContext(ctx context.Context, opts RunOptions) (*Report, err
 // before the run completes.
 var ErrCanceled = engine.ErrCanceled
 
+// ErrCorruption matches (via errors.Is) a run that failed because a detected
+// corruption could not be repaired within the bounded lineage budget.
+var ErrCorruption = integrity.ErrCorruption
+
+// ErrNonFinite matches (via errors.Is) a run stopped by the NaNGuard scan.
+var ErrNonFinite = integrity.ErrNonFinite
+
 // RunTraced executes the program like Run and additionally collects a
 // structured trace: one span per charged operator, grouped under
 // statement and iteration boundary spans.
@@ -438,10 +481,20 @@ func (p *Program) run(ctx context.Context, rec *trace.Recorder, opts RunOptions)
 	for name, in := range p.inputs {
 		ins[name] = engine.Input{Data: in.Data.m, VRows: in.VirtualRows, VCols: in.VirtualCols}
 	}
+	verify, err := integrity.ParseVerifyMode(opts.Verify)
+	if err != nil {
+		return nil, err
+	}
+	guard, err := integrity.ParseGuardMode(opts.NaNGuard)
+	if err != nil {
+		return nil, err
+	}
 	res, err := engine.RunWithOptions(ctx, p.compiled, ins, rec, engine.RunOptions{
 		Faults:     opts.Faults.internal(p.compiled.Config.Cluster.Workers()),
 		Checkpoint: opts.Checkpoint,
 		MaxIter:    opts.MaxIterations,
+		Verify:     verify,
+		NaNGuard:   guard,
 	})
 	if err != nil {
 		return nil, err
@@ -459,6 +512,13 @@ func (p *Program) run(ctx context.Context, rec *trace.Recorder, opts RunOptions)
 		RecoverySeconds:       res.Stats.RecoverySec,
 		RecomputeFLOP:         res.Stats.RecomputeFLOP,
 		FailedWorkers:         res.Stats.FailedWorkers,
+
+		CorruptionsInjected:       res.Stats.CorruptionsInjected,
+		CorruptionsDetectedDigest: res.Stats.CorruptionsDigest,
+		CorruptionsDetectedABFT:   res.Stats.CorruptionsABFT,
+		IntegrityRepairs:          res.Stats.IntegrityRepairs,
+		RepairSeconds:             res.Stats.RepairSec,
+		VerifySeconds:             res.Stats.VerifySec,
 	}
 	for name, v := range res.Env {
 		rep.Values[name] = wrap(v.Data())
