@@ -91,6 +91,8 @@ type queryResponse struct {
 	PlanCacheHit     bool                    `json:"plan_cache_hit"`
 	IntermediateHits int                     `json:"intermediate_hits"`
 	IntermediateMiss int                     `json:"intermediate_misses"`
+	SharedHits       int                     `json:"shared_hits,omitempty"`
+	SharedProduced   int                     `json:"shared_produced,omitempty"`
 	SelectedKeys     []string                `json:"selected_keys,omitempty"`
 }
 
@@ -221,6 +223,8 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 		PlanCacheHit:     res.PlanCacheHit,
 		IntermediateHits: res.IntermediateHits,
 		IntermediateMiss: res.IntermediateMisses,
+		SharedHits:       res.SharedHits,
+		SharedProduced:   res.SharedProduced,
 		SelectedKeys:     res.SelectedKeys,
 	}
 	for name, m := range res.Values {
@@ -361,6 +365,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "default per-query deadline (0: none)")
 	planEntries := flag.Int("plan-cache", 128, "compiled-plan cache entries (negative: disabled)")
 	interBudget := flag.Int64("inter-budget", 4<<30, "intermediate cache budget in modelled bytes (negative: disabled)")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "MQO batching window: queries admitted within it share loop-constant producer executions (0: disabled)")
 	retries := flag.Int("retries", 0, "max execution attempts per query (0: default 3, negative: no retries)")
 	hedge := flag.Bool("hedge", false, "hedge straggler queries past the p95 latency")
 	noBreaker := flag.Bool("no-breaker", false, "disable the admission circuit breaker / load shedder")
@@ -372,6 +377,7 @@ func main() {
 		DefaultTimeout:          *timeout,
 		PlanCacheEntries:        *planEntries,
 		IntermediateBudgetBytes: *interBudget,
+		BatchWindow:             *batchWindow,
 		Retry:                   resilience.RetryPolicy{MaxAttempts: *retries},
 		Hedge:                   resilience.HedgePolicy{Enabled: *hedge},
 		NoBreaker:               *noBreaker,

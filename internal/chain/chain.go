@@ -126,6 +126,15 @@ func countT(atoms []Atom) int {
 // occurrence is stored transposed relative to the canonical form).
 func Transposed(atoms []Atom) bool { return CanonicalKey(atoms) != SpanKey(atoms) }
 
+// CanonicalSpan returns a window's canonical key together with whether the
+// window is transposed relative to it — CanonicalKey and Transposed in one
+// pass, for callers (the redundancy search, per-plan subexpression
+// manifests) that need both without canonicalizing twice.
+func CanonicalSpan(atoms []Atom) (key string, flipped bool) {
+	key = CanonicalKey(atoms)
+	return key, key != SpanKey(atoms)
+}
+
 // Extract builds coordinates from normalized statement roots (transposes
 // pushed down, products expanded). Scalar-valued regions are traversed so
 // chains inside denominators become blocks too. The resolver distinguishes

@@ -115,6 +115,31 @@ type Decision struct {
 	Evaluated int
 }
 
+// ProducerSig encodes the shape of a producer plan tree — its split points —
+// so an intermediate-cache or MQO sharing key pins down the exact kernel
+// sequence that produced the value. Two queries whose optimizers
+// parenthesized the same canonical expression differently get different
+// keys, which is what makes reusing a materialized value bitwise-identical
+// to recomputation. Producers that reference other options' reuse leaves
+// return "" (not shareable standalone: their value chains through
+// run-local state).
+func ProducerSig(n *OpNode) string {
+	if n == nil {
+		return ""
+	}
+	if n.ReuseOf != nil {
+		return ""
+	}
+	if n.Lo == n.Hi {
+		return fmt.Sprintf("%d", n.Lo)
+	}
+	l, r := ProducerSig(n.L), ProducerSig(n.R)
+	if l == "" || r == "" {
+		return ""
+	}
+	return "(" + l + "." + r + ")"
+}
+
 // Keys returns the selected option keys (sorted) for reporting.
 func (d *Decision) Keys() []string {
 	out := make([]string, len(d.Selected))

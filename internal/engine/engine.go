@@ -102,6 +102,39 @@ type IntermediateCache interface {
 	Put(key string, v Intermediate)
 }
 
+// SharedRole is the outcome of a SharedProducers.Acquire call.
+type SharedRole int
+
+const (
+	// SharedHit: the returned Intermediate is valid; the caller adopts it
+	// instead of computing.
+	SharedHit SharedRole = iota
+	// SharedLead: the caller must compute the value and settle its claim
+	// with Publish (success) or Fail (error).
+	SharedLead
+	// SharedSolo: no sharing for this key — compute locally and do not
+	// publish. Coordinators return it to break potential wait cycles.
+	SharedSolo
+)
+
+// SharedProducers coordinates loop-constant (LSE) producer executions
+// across concurrently running sibling queries — multi-query optimization,
+// the mid-batch counterpart of the cross-run IntermediateCache. Before
+// computing an LSE producer the engine Acquires its key: it either adopts
+// a value a sibling produced (possibly blocking until that production
+// settles), becomes the leader that produces it for the whole batch, or is
+// told to compute solo. A leader settles with Publish — the value plus the
+// FLOP the production charged, which adopters report as savings — or Fail,
+// whose error the coordinator propagates typed to every waiting consumer.
+// Keys are exactly the IntermediateCache keys (canonical expression key +
+// producer-plan signature), so an adopted value is guaranteed to stand for
+// the bitwise-identical kernel sequence this run would have executed.
+type SharedProducers interface {
+	Acquire(ctx context.Context, key string) (Intermediate, SharedRole, error)
+	Publish(key string, v Intermediate, flop float64)
+	Fail(key string, err error)
+}
+
 // RunOptions configures the run-time (as opposed to compile-time) behavior
 // of an execution: fault injection and the recovery policy. The zero value
 // reproduces a perfect cluster — no faults, no checkpointing — with zero
@@ -120,6 +153,10 @@ type RunOptions struct {
 	// loop-constant (LSE) values before computing them; newly computed
 	// values are offered back. See IntermediateCache.
 	Intermediates IntermediateCache
+	// Shared, when non-nil, coordinates LSE producer executions with
+	// concurrently running sibling queries (multi-query optimization). It
+	// is consulted after Intermediates misses. See SharedProducers.
+	Shared SharedProducers
 	// Verify selects the integrity verification mode: off, block digests on
 	// every charged transmission and DFS read, or digests plus ABFT checksum
 	// validation of distributed multiplies. Verification work is charged to
@@ -176,6 +213,7 @@ func RunWithOptions(goCtx context.Context, c *opt.Compiled, inputs map[string]In
 		lseCache:   map[string]*distmat.DistMatrix{},
 		checkpoint: opts.Checkpoint,
 		inter:      opts.Intermediates,
+		shared:     opts.Shared,
 	}
 	if err := e.prepare(); err != nil {
 		return nil, err
@@ -253,6 +291,8 @@ type executor struct {
 
 	// inter is the optional cross-run LSE value cache (RunOptions).
 	inter IntermediateCache
+	// shared is the optional mid-batch producer coordinator (RunOptions).
+	shared SharedProducers
 
 	// explicitKeys marks subtree keys stock SystemDS would reuse
 	// (Explicit strategy only).
@@ -772,7 +812,10 @@ func (e *executor) fusedTranspose(sym string, v *distmat.DistMatrix) *distmat.Di
 // live for one iteration. When a cross-run intermediate cache is attached,
 // loop-constant values are looked up there first and offered back after
 // computation, so concurrent queries against the same dataset reuse each
-// other's hoisted intermediates instead of recomputing them.
+// other's hoisted intermediates instead of recomputing them. When a
+// shared-producer coordinator is attached (MQO), a missed loop-constant
+// value is additionally negotiated with sibling runs mid-batch: adopt a
+// sibling's production, or produce once for the whole batch.
 func (e *executor) optionValue(o *search.Option) (*distmat.DistMatrix, error) {
 	cache := e.cseCache
 	if o.Kind == search.LSE {
@@ -786,8 +829,8 @@ func (e *executor) optionValue(o *search.Option) (*distmat.DistMatrix, error) {
 		return nil, fmt.Errorf("no producer for option %q", o.Key)
 	}
 	interKey := ""
-	if o.Kind == search.LSE && e.inter != nil {
-		if sig := producerSig(pp.Root); sig != "" {
+	if o.Kind == search.LSE && (e.inter != nil || e.shared != nil) {
+		if sig := costgraph.ProducerSig(pp.Root); sig != "" {
 			if o.Occs[0].Flipped {
 				// A flipped producer computes the transposed chain and then
 				// transposes back: a distinct kernel sequence, so a distinct
@@ -795,15 +838,40 @@ func (e *executor) optionValue(o *search.Option) (*distmat.DistMatrix, error) {
 				sig += "|f"
 			}
 			interKey = o.Key + "|" + sig
-			if iv, ok := e.inter.Get(interKey); ok {
-				// Reuse costs nothing on the simulated cluster: the value is
-				// already resident from the producing query (the serving
-				// layer charges its memory against the cache byte budget).
-				v := distmat.New(e.ctx, iv.Data, iv.VRows, iv.VCols)
-				cache[o.Key] = v
-				return v, nil
+			if e.inter != nil {
+				if iv, ok := e.inter.Get(interKey); ok {
+					// Reuse costs nothing on the simulated cluster: the value is
+					// already resident from the producing query (the serving
+					// layer charges its memory against the cache byte budget).
+					v := distmat.New(e.ctx, iv.Data, iv.VRows, iv.VCols)
+					cache[o.Key] = v
+					return v, nil
+				}
 			}
 		}
+	}
+	lead := false
+	if interKey != "" && e.shared != nil {
+		iv, role, err := e.shared.Acquire(e.goCtx, interKey)
+		if err != nil {
+			return nil, err
+		}
+		switch role {
+		case SharedHit:
+			// A sibling query in the batch produced this value (under the
+			// same key, hence through the identical kernel sequence);
+			// adopting it costs nothing on this run's simulated cluster,
+			// exactly like a cross-run intermediate hit.
+			v := distmat.New(e.ctx, iv.Data, iv.VRows, iv.VCols)
+			cache[o.Key] = v
+			return v, nil
+		case SharedLead:
+			lead = true
+		}
+	}
+	flopBefore := 0.0
+	if lead {
+		flopBefore = e.ctx.Cluster.Stats().FLOP
 	}
 	var v *distmat.DistMatrix
 	var err error
@@ -821,6 +889,12 @@ func (e *executor) optionValue(o *search.Option) (*distmat.DistMatrix, error) {
 		}
 	}
 	if err != nil {
+		if lead {
+			// Settle the claim so waiting siblings fail typed (or, for a
+			// cancellation specific to this run, promote a new leader)
+			// instead of blocking on an abandoned production.
+			e.shared.Fail(interKey, err)
+		}
 		return nil, err
 	}
 	if o.Kind == search.LSE && e.checkpoint {
@@ -828,36 +902,17 @@ func (e *executor) optionValue(o *search.Option) (*distmat.DistMatrix, error) {
 		// here converts every later failure's recompute into a DFS read.
 		v.Checkpoint()
 	}
-	if interKey != "" {
+	if lead {
+		vr, vc := v.VirtualDims()
+		e.shared.Publish(interKey, Intermediate{Data: v.Data(), VRows: vr, VCols: vc},
+			e.ctx.Cluster.Stats().FLOP-flopBefore)
+	}
+	if interKey != "" && e.inter != nil {
 		vr, vc := v.VirtualDims()
 		e.inter.Put(interKey, Intermediate{Data: v.Data(), VRows: vr, VCols: vc})
 	}
 	cache[o.Key] = v
 	return v, nil
-}
-
-// producerSig encodes the shape of a producer plan tree — its split points —
-// so an intermediate-cache key pins down the exact kernel sequence that
-// produced the value. Two queries whose optimizers parenthesized the same
-// canonical expression differently get different keys, which is what makes
-// a cache hit bitwise-identical to recomputation. Producers that reference
-// other options' reuse leaves return "" (not cacheable standalone: their
-// value chains through run-local state).
-func producerSig(n *costgraph.OpNode) string {
-	if n == nil {
-		return ""
-	}
-	if n.ReuseOf != nil {
-		return ""
-	}
-	if n.Lo == n.Hi {
-		return fmt.Sprintf("%d", n.Lo)
-	}
-	l, r := producerSig(n.L), producerSig(n.R)
-	if l == "" || r == "" {
-		return ""
-	}
-	return "(" + l + "." + r + ")"
 }
 
 // groupValue computes a cross-block grouped sum (the first pair of

@@ -197,6 +197,26 @@ func FromEvents(events ...Event) *Plan {
 // Enabled reports whether the plan schedules any faults. Nil-safe.
 func (p *Plan) Enabled() bool { return p != nil }
 
+// SchedulesCorruption reports whether the plan can fire payload-corruption
+// events (rate-based or explicit). Nil-safe. The serving layer's MQO
+// coordinator consults it: a query that may corrupt its own payloads only
+// shares produced values when a verification mode can catch (and repair or
+// fail) the damage.
+func (p *Plan) SchedulesCorruption() bool {
+	if p == nil {
+		return false
+	}
+	if p.events != nil {
+		for _, ev := range p.events {
+			if ev.Kind == Corruption {
+				return true
+			}
+		}
+		return false
+	}
+	return p.cfg.CorruptionsPerHour > 0
+}
+
 // BackoffBase returns the first-retry delay in seconds. Nil-safe.
 func (p *Plan) BackoffBase() float64 {
 	if p == nil || p.cfg.BackoffBaseSec <= 0 {

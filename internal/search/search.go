@@ -139,12 +139,12 @@ func BlockWiseCtx(ctx context.Context, c *chain.Coordinates, est sparsity.Estima
 					continue
 				}
 				res.Visited++
-				key := chain.CanonicalKey(window)
+				key, flipped := chain.CanonicalSpan(window)
 				if _, seen := table[key]; !seen {
 					order = append(order, key)
 				}
 				table[key] = append(table[key], hit{
-					occ:   Occurrence{Block: b.ID, Lo: lo, Hi: hi, Flipped: chain.Transposed(window)},
+					occ:   Occurrence{Block: b.ID, Lo: lo, Hi: hi, Flipped: flipped},
 					atoms: window,
 				})
 			}

@@ -53,24 +53,39 @@ func (s *Server) planKey(q Query, cfg opt.Config) (string, error) {
 	return b.String(), nil
 }
 
+// metaSigCap bounds the sparsity-signature memo (sparsitySig).
+const metaSigCap = 4096
+
+// metaSig is one memoized per-matrix sparsity bucket.
+type metaSig struct {
+	m   *matrix.Matrix
+	sig string
+}
+
 // sparsitySig returns a matrix's bucketed sparsity, memoized by identity:
 // matrices are immutable once handed to the engine, and counting nonzeros
 // of a dense matrix is O(cells) — too slow for the plan-cache hit path.
+// The memo is a bounded LRU: a stream of never-repeating matrices evicts
+// only the coldest entry, so the hot inputs of live sessions keep their
+// memoized signature instead of being rescanned after a wholesale flush.
 func (s *Server) sparsitySig(m *matrix.Matrix) string {
 	s.metaMu.Lock()
 	defer s.metaMu.Unlock()
-	if sig, ok := s.metaSigs[m]; ok {
-		return sig
+	if s.metaSigs == nil {
+		s.metaSigs = map[*matrix.Matrix]*list.Element{}
+		s.metaLRU = list.New()
+	}
+	if el, ok := s.metaSigs[m]; ok {
+		s.metaLRU.MoveToFront(el)
+		return el.Value.(*metaSig).sig
 	}
 	sig := sparsityBucket(m.Sparsity())
-	if len(s.metaSigs) >= 4096 {
-		// Bound the memo against a stream of never-repeating matrices.
-		s.metaSigs = map[*matrix.Matrix]string{}
+	s.metaSigs[m] = s.metaLRU.PushFront(&metaSig{m: m, sig: sig})
+	for s.metaLRU.Len() > metaSigCap {
+		back := s.metaLRU.Back()
+		s.metaLRU.Remove(back)
+		delete(s.metaSigs, back.Value.(*metaSig).m)
 	}
-	if s.metaSigs == nil {
-		s.metaSigs = map[*matrix.Matrix]string{}
-	}
-	s.metaSigs[m] = sig
 	return sig
 }
 
@@ -116,31 +131,37 @@ func newPlanCache(capacity int) *planCache {
 // concurrent callers. hit reports whether this caller avoided compiling
 // itself (cached entry or a successful concurrent leader).
 func (p *planCache) getOrCompile(ctx context.Context, key string, compile func() (*opt.Compiled, error)) (c *opt.Compiled, hit bool, err error) {
-	p.mu.Lock()
-	if el, ok := p.items[key]; ok {
-		p.ll.MoveToFront(el)
-		c = el.Value.(*planEntry).c
-		p.mu.Unlock()
-		return c, true, nil
-	}
-	if e, ok := p.inflight[key]; ok {
-		p.mu.Unlock()
-		select {
-		case <-e.ready:
-		case <-ctx.Done():
-			return nil, false, opt.Canceled("serve: plan wait", ctx.Err())
+	var e *planEntry
+	for e == nil {
+		p.mu.Lock()
+		if el, ok := p.items[key]; ok {
+			p.ll.MoveToFront(el)
+			c = el.Value.(*planEntry).c
+			p.mu.Unlock()
+			return c, true, nil
 		}
-		if e.err == nil {
-			return e.c, true, nil
+		if w, ok := p.inflight[key]; ok {
+			p.mu.Unlock()
+			select {
+			case <-w.ready:
+			case <-ctx.Done():
+				return nil, false, opt.Canceled("serve: plan wait", ctx.Err())
+			}
+			if w.err == nil {
+				return w.c, true, nil
+			}
+			// The leader failed; its error may be specific to its context
+			// (e.g. a deadline), so don't inherit it. Loop instead: the
+			// first waiter back through the lock promotes itself to the new
+			// in-flight leader and its success is cached, while the rest
+			// coalesce behind it — a failed leader costs the group one
+			// recompile, not one per waiter.
+			continue
 		}
-		// The leader failed; its error may be specific to its context
-		// (e.g. a deadline), so compile independently.
-		c, err = compile()
-		return c, false, err
+		e = &planEntry{key: key, ready: make(chan struct{})}
+		p.inflight[key] = e
+		p.mu.Unlock()
 	}
-	e := &planEntry{key: key, ready: make(chan struct{})}
-	p.inflight[key] = e
-	p.mu.Unlock()
 
 	e.c, e.err = compile()
 
@@ -210,11 +231,18 @@ func (c *interCache) put(key string, v engine.Intermediate) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
+		// Refresh the value and its byte accounting: a re-offer can carry a
+		// different modelled size (the producer's sparsity settled
+		// differently), and keeping the old charge would drift used away
+		// from the sum of resident entries.
+		e := el.Value.(*interEntry)
+		c.used += bytes - e.bytes
+		e.v, e.bytes = v, bytes
 		c.ll.MoveToFront(el)
-		return
+	} else {
+		c.items[key] = c.ll.PushFront(&interEntry{key: key, v: v, bytes: bytes})
+		c.used += bytes
 	}
-	c.items[key] = c.ll.PushFront(&interEntry{key: key, v: v, bytes: bytes})
-	c.used += bytes
 	for c.used > c.budget {
 		back := c.ll.Back()
 		e := back.Value.(*interEntry)

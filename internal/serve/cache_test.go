@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"remac/internal/engine"
 	"remac/internal/matrix"
@@ -177,6 +178,43 @@ func TestPlanCacheFailureNotCached(t *testing.T) {
 	}
 }
 
+// TestInterCachePutRefreshesBytes: re-offering an existing key with a
+// different modelled size must move the byte accounting to the new size —
+// the old behavior kept the stale charge, drifting used away from the sum
+// of resident entries until the budget was effectively corrupted.
+func TestInterCachePutRefreshesBytes(t *testing.T) {
+	small := denseIntermediate(4, 4)
+	big := denseIntermediate(8, 8)
+	smallBytes := matrix.SizeBytesFor(4, 4, small.Data.Sparsity())
+	bigBytes := matrix.SizeBytesFor(8, 8, big.Data.Sparsity())
+	c := newInterCache(1 << 20)
+	c.put("k", small)
+	c.put("k", big) // re-offer: same key, larger modelled size
+	if n, used := c.usage(); n != 1 || used != bigBytes {
+		t.Fatalf("after grow re-offer: %d entries/%d bytes, want 1/%d", n, used, bigBytes)
+	}
+	got, ok := c.get("k")
+	if !ok || got.Data != big.Data {
+		t.Fatal("re-offer did not refresh the resident value")
+	}
+	c.put("k", small) // and back down: accounting follows both directions
+	if n, used := c.usage(); n != 1 || used != smallBytes {
+		t.Fatalf("after shrink re-offer: %d entries/%d bytes, want 1/%d", n, used, smallBytes)
+	}
+	// Eviction decisions after refreshes see the true usage: a budget with
+	// room for the small value plus one more is not blown by stale bytes.
+	c2 := newInterCache(2 * bigBytes)
+	c2.put("a", big)
+	c2.put("a", small)
+	c2.put("b", big)
+	if n, used := c2.usage(); n != 2 || used != smallBytes+bigBytes {
+		t.Errorf("refresh+insert: %d entries/%d bytes, want 2/%d", n, used, smallBytes+bigBytes)
+	}
+	if _, ok := c2.get("a"); !ok {
+		t.Error("entry a evicted although the refreshed usage fits the budget")
+	}
+}
+
 // TestPlanCacheWaiterFallsBackOnLeaderFailure: a waiter coalesced behind a
 // failing leader compiles independently rather than inheriting the error.
 func TestPlanCacheWaiterFallsBackOnLeaderFailure(t *testing.T) {
@@ -223,5 +261,81 @@ func TestPlanCacheWaiterFallsBackOnLeaderFailure(t *testing.T) {
 	}
 	if waiterCompiled.Load() != 1 {
 		t.Errorf("waiter compiled %d times, want 1", waiterCompiled.Load())
+	}
+}
+
+// TestPlanCacheFailedLeaderPromotesWaiter: when a compiling leader fails
+// with a crowd of waiters parked behind it, exactly one waiter is promoted
+// to recompile and its success is cached for everyone — the old behavior
+// sent every waiter off to compile independently and never cached any of
+// their successes, costing one compilation per waiter instead of one total.
+func TestPlanCacheFailedLeaderPromotesWaiter(t *testing.T) {
+	p := newPlanCache(4)
+	boom := errors.New("boom")
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := p.getOrCompile(context.Background(), "k", func() (*opt.Compiled, error) {
+			close(entered)
+			<-release
+			return nil, boom
+		})
+		leaderDone <- err
+	}()
+	<-entered // the leader is registered in-flight and blocked
+
+	const n = 6
+	var waiterCompiles atomic.Int32
+	hits := make([]bool, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, hit, err := p.getOrCompile(context.Background(), "k", func() (*opt.Compiled, error) {
+				waiterCompiles.Add(1)
+				return &opt.Compiled{}, nil
+			})
+			hits[i], errs[i] = hit, err
+		}(i)
+	}
+	// Let the waiters pile up behind the in-flight leader, then fail it.
+	// (A waiter that hasn't parked yet races through the same promotion
+	// path on arrival; compilations still serialize through the in-flight
+	// slot and each success is cached, so the assertions hold either way.)
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	if err := <-leaderDone; !errors.Is(err, boom) {
+		t.Fatalf("leader error = %v, want boom", err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("waiter %d: %v", i, err)
+		}
+	}
+	if got := waiterCompiles.Load(); got != 1 {
+		t.Errorf("a failed leader cost %d waiter recompiles, want exactly 1", got)
+	}
+	misses := 0
+	for _, h := range hits {
+		if !h {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Errorf("%d waiters reported compiling, want exactly the promoted one", misses)
+	}
+	// The promoted waiter's success was cached: a later request hits
+	// without compiling, and the cache holds the one entry.
+	if _, hit, err := p.getOrCompile(context.Background(), "k", func() (*opt.Compiled, error) {
+		return nil, errors.New("unexpected recompile")
+	}); err != nil || !hit {
+		t.Errorf("post-promotion lookup: hit=%v err=%v, want cached hit", hit, err)
+	}
+	if p.len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", p.len())
 	}
 }

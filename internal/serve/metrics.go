@@ -41,6 +41,14 @@ type metrics struct {
 	corrRepairs  uint64
 	repairSec    float64
 
+	mqoBatches    uint64
+	mqoMembers    uint64
+	mqoOverlapped uint64
+	mqoHits       uint64
+	mqoProduced   uint64
+	mqoAbandoned  uint64
+	mqoFlopSaved  float64
+
 	lat     [latencyWindow]float64
 	latIdx  int
 	latFull bool
@@ -160,6 +168,40 @@ func (m *metrics) integrityCounts(injected, byDigest, byABFT, repairs int, repai
 	m.mu.Unlock()
 }
 
+// mqoAdmitted records one query joining an MQO batch (newBatch marks the
+// admission that opened it); batch occupancy is members/batches.
+func (m *metrics) mqoAdmitted(newBatch bool) {
+	m.mu.Lock()
+	m.mqoMembers++
+	if newBatch {
+		m.mqoBatches++
+	}
+	m.mu.Unlock()
+}
+
+// mqoOverlap records keys of the cross-query subexpression index that just
+// became overlapping (announced by a second session of their batch).
+func (m *metrics) mqoOverlap(keys int) {
+	m.mu.Lock()
+	m.mqoOverlapped += uint64(keys)
+	m.mu.Unlock()
+}
+
+// mqoSession folds one run's shared-producer coordinator traffic into the
+// server totals: adoptions, productions, the charged FLOP adoptions
+// avoided, and leaderships the run abandoned (panic paths).
+func (m *metrics) mqoSession(hits, led int, flopSaved float64, abandoned int) {
+	if hits == 0 && led == 0 && abandoned == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.mqoHits += uint64(hits)
+	m.mqoProduced += uint64(led)
+	m.mqoFlopSaved += flopSaved
+	m.mqoAbandoned += uint64(abandoned)
+	m.mu.Unlock()
+}
+
 // latencyQuantile reads a percentile of the current window without
 // snapshotting everything (the hedge trigger calls it per query).
 func (m *metrics) latencyQuantile(p float64) float64 {
@@ -224,6 +266,20 @@ type Snapshot struct {
 	CorruptionsABFT     uint64  `json:"corruptions_detected_abft"`
 	IntegrityRepairs    uint64  `json:"integrity_repairs"`
 	RepairSec           float64 `json:"repair_sec"`
+
+	// MQO (cross-query redundancy elimination) counters: batches formed
+	// and queries batched (occupancy = queries/batches), shared-key
+	// overlaps observed in the cross-query subexpression index, producer
+	// adoptions and executions through the batch coordinator, leaderships
+	// abandoned by panicking producers, and the charged FLOP the adoptions
+	// avoided.
+	MQOBatches        uint64  `json:"mqo_batches"`
+	MQOBatchedQueries uint64  `json:"mqo_batched_queries"`
+	MQOOverlapKeys    uint64  `json:"mqo_overlap_keys"`
+	MQOSharedHits     uint64  `json:"mqo_shared_hits"`
+	MQOSharedProduced uint64  `json:"mqo_shared_produced"`
+	MQOAbandoned      uint64  `json:"mqo_abandoned"`
+	MQOFlopSaved      float64 `json:"mqo_flop_saved"`
 }
 
 func (m *metrics) snapshot() Snapshot {
@@ -253,6 +309,14 @@ func (m *metrics) snapshot() Snapshot {
 		CorruptionsABFT:     m.corrABFT,
 		IntegrityRepairs:    m.corrRepairs,
 		RepairSec:           m.repairSec,
+
+		MQOBatches:        m.mqoBatches,
+		MQOBatchedQueries: m.mqoMembers,
+		MQOOverlapKeys:    m.mqoOverlapped,
+		MQOSharedHits:     m.mqoHits,
+		MQOSharedProduced: m.mqoProduced,
+		MQOAbandoned:      m.mqoAbandoned,
+		MQOFlopSaved:      m.mqoFlopSaved,
 	}
 	if s.UptimeSec > 0 {
 		s.QPS = float64(s.Completed) / s.UptimeSec

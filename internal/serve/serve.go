@@ -30,6 +30,7 @@
 package serve
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -81,6 +82,14 @@ type Config struct {
 	// charged at the simulated cluster's modelled (virtual-scale) value
 	// sizes. Default 4 GiB; negative disables intermediate caching.
 	IntermediateBudgetBytes int64
+	// BatchWindow enables multi-query optimization: queries admitted within
+	// the same window form one MQO batch whose runs share loop-constant
+	// producer executions through a per-batch coordinator (a subchain like
+	// t(X)%*%X appearing in N member plans executes once and feeds all N
+	// consumers, transposed consumers included). Zero — the default —
+	// disables batching entirely: every query runs exactly as it would have
+	// before MQO existed. cmd/remac-serve defaults the flag to a few ms.
+	BatchWindow time.Duration
 
 	// Retry re-executes transient failures (capped seeded backoff). The
 	// zero value enables the resilience defaults; Retry.MaxAttempts < 0
@@ -209,6 +218,14 @@ type QueryResult struct {
 	// many the enabled verification mode caught (digest + ABFT), and the
 	// lineage repair attempts they cost.
 	CorruptionsInjected, CorruptionsDetected, IntegrityRepairs int
+	// FLOP is the total floating-point work charged to this query's
+	// simulated cluster. Adopting a shared producer charges nothing, so
+	// batched arms of a workload sum to less than unbatched ones.
+	FLOP float64
+	// SharedHits / SharedProduced count this run's MQO coordinator traffic:
+	// loop-constant producers adopted from sibling queries in the batch,
+	// and producers this run executed once on the whole batch's behalf.
+	SharedHits, SharedProduced int
 	// SelectedKeys are the applied elimination option keys (sorted).
 	SelectedKeys []string
 	// Trace is the query's span recorder (nil unless Query.Trace).
@@ -225,6 +242,9 @@ type job struct {
 	ctx context.Context
 	q   Query
 	out chan jobOut // buffered: workers never block on abandoned callers
+	// batch is the MQO batch this query was admitted into (nil when
+	// batching is off); set once at admission, before the job is enqueued.
+	batch *mqoBatch
 }
 
 // Server is a concurrent query server. Create with New, submit with Do,
@@ -244,12 +264,14 @@ type Server struct {
 	versions map[string]int64
 
 	// metaSigs memoizes per-matrix sparsity buckets for plan-key
-	// computation (see sparsitySig).
+	// computation, LRU-bounded at metaSigCap entries (see sparsitySig).
 	metaMu   sync.Mutex
-	metaSigs map[*matrix.Matrix]string
+	metaSigs map[*matrix.Matrix]*list.Element
+	metaLRU  *list.List
 
-	plans *planCache
-	inter *interCache
+	plans   *planCache
+	inter   *interCache
+	batches *batcher
 }
 
 // New starts a server with cfg.Workers executor goroutines.
@@ -269,6 +291,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.IntermediateBudgetBytes > 0 {
 		s.inter = newInterCache(cfg.IntermediateBudgetBytes)
+	}
+	if cfg.BatchWindow > 0 {
+		s.batches = newBatcher(cfg.BatchWindow)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -322,10 +347,21 @@ func (s *Server) Do(ctx context.Context, q Query) (*QueryResult, error) {
 		s.metrics.shed()
 		return nil, overloadedErr(id, retryAfter, ErrOverloaded)
 	}
+	// MQO batch membership is decided at admission time: everything that
+	// arrives inside one window shares a batch, regardless of when the
+	// worker pool actually gets to each query. Assigned before the enqueue
+	// so the worker never races the assignment.
+	var newBatch bool
+	if s.batches != nil {
+		j.batch, newBatch = s.batches.assign(time.Now())
+	}
 	select {
 	case s.queue <- j:
 		s.mu.Unlock()
 		s.metrics.enqueued()
+		if j.batch != nil {
+			s.metrics.mqoAdmitted(newBatch)
+		}
 	default:
 		s.mu.Unlock()
 		s.metrics.rejected()
@@ -559,7 +595,7 @@ func (s *Server) guarded(ctx context.Context, j *job, attempt int) (res *QueryRe
 			return nil, s.classify(j.id, "execute", perr)
 		}
 	}
-	r, e := s.execute(ctx, j.q)
+	r, e := s.execute(ctx, j)
 	if e != nil {
 		var qe *resilience.QueryError
 		if errors.As(e, &qe) && qe.QueryID == 0 {
@@ -583,6 +619,10 @@ func (s *Server) classify(id uint64, stage string, err error) error {
 	}
 	class := resilience.Execution
 	switch {
+	case errors.Is(err, errSharedAbandoned):
+		// A sibling query panicked while producing a value this run waited
+		// for: server-attributable, like the panic itself.
+		class = resilience.Internal
 	case errors.Is(err, engine.ErrCanceled):
 		class = resilience.Canceled
 	case errors.Is(err, engine.ErrMaxIterations):
@@ -605,9 +645,11 @@ func (s *Server) classify(id uint64, stage string, err error) error {
 
 // execute runs one query end to end: plan (cached or compiled), then
 // execute on a fresh simulated cluster with the cross-query intermediate
-// cache attached. Returned errors are classified (compile vs execution vs
-// canceled vs max-iterations).
-func (s *Server) execute(ctx context.Context, q Query) (*QueryResult, error) {
+// cache — and, when the query was admitted into an MQO batch, the batch's
+// shared-producer coordinator — attached. Returned errors are classified
+// (compile vs execution vs canceled vs max-iterations).
+func (s *Server) execute(ctx context.Context, j *job) (out *QueryResult, err error) {
+	q := j.q
 	timeout := q.Timeout
 	if timeout == 0 {
 		timeout = s.cfg.DefaultTimeout
@@ -650,18 +692,38 @@ func (s *Server) execute(ctx context.Context, q Query) (*QueryResult, error) {
 		view = s.inter.view(s.namespaceFor(q))
 		inter = view
 	}
+	var sess *mqoSession
+	var shared engine.SharedProducers
+	if j.batch != nil && s.shareEligible(q) {
+		sess = j.batch.session(s.namespaceFor(q))
+		shared = sess
+		// The deferred close settles any leadership this run still holds
+		// when it unwinds — including a panic unwind, where err is nil and
+		// every waiting sibling gets the typed "abandoned" error instead of
+		// blocking forever or silently missing a value.
+		defer func() {
+			abandoned := sess.close(err)
+			s.metrics.mqoSession(sess.hits, sess.led, sess.flopSaved, abandoned)
+		}()
+		// Announce this plan's shareable subexpressions to the batch's
+		// cross-query index (metrics observe how many keys overlap).
+		if n := sess.announce(compiled.SharedManifest()); n > 0 {
+			s.metrics.mqoOverlap(n)
+		}
+	}
 	res, err := engine.RunWithOptions(ctx, compiled, q.Inputs, rec, engine.RunOptions{
 		MaxIter:       q.MaxIterations,
 		Faults:        q.Faults,
 		Checkpoint:    q.Checkpoint,
 		Intermediates: inter,
+		Shared:        shared,
 		Verify:        q.Verify,
 		NaNGuard:      q.NaNGuard,
 	})
 	if err != nil {
 		return nil, s.classify(0, "execute", err)
 	}
-	out := &QueryResult{
+	out = &QueryResult{
 		Values:       map[string]*matrix.Matrix{},
 		Iterations:   res.Iterations,
 		SimulatedSec: res.Stats.TotalTime(),
@@ -682,7 +744,11 @@ func (s *Server) execute(ctx context.Context, q Query) (*QueryResult, error) {
 		out.IntermediateHits, out.IntermediateMisses = view.hits, view.misses
 		s.metrics.interCounts(view.hits, view.misses)
 	}
+	if sess != nil {
+		out.SharedHits, out.SharedProduced = sess.hits, sess.led
+	}
 	st := res.Stats
+	out.FLOP = st.FLOP
 	out.CorruptionsInjected = st.CorruptionsInjected
 	out.CorruptionsDetected = st.CorruptionsDigest + st.CorruptionsABFT
 	out.IntegrityRepairs = st.IntegrityRepairs
