@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"remac/internal/bench"
+	"remac/internal/engine"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write every run's operator spans to this file as JSON lines")
 	jsonFile := flag.String("json", "", "write the selected tables to this file as JSON")
 	faultSeed := flag.Int64("fault-seed", bench.FaultSeed, "fault schedule seed of the faults experiment")
+	recovery := flag.String("recovery", "", "recovery policy of the coded arm of the faults experiment (coded or coded:k,n)")
 	chaosSeed := flag.Int64("chaos-seed", bench.ChaosSeed, "storm schedule seed of the chaos experiment")
 	integritySeed := flag.Int64("integrity-seed", bench.IntegritySeed, "corruption schedule seed of the integrity experiment")
 	flag.Parse()
@@ -35,6 +37,14 @@ func main() {
 	bench.FaultSeed = *faultSeed
 	bench.ChaosSeed = *chaosSeed
 	bench.IntegritySeed = *integritySeed
+	if *recovery != "" {
+		rp, err := engine.ParseRecovery(*recovery)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		bench.CodedRecovery = rp
+	}
 
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)

@@ -67,6 +67,10 @@ type queryRequest struct {
 	// MaxIterations caps loop iterations; a program still running at the
 	// cap fails with 422 (max-iterations class).
 	MaxIterations int `json:"max_iterations,omitempty"`
+	// Recovery selects the recovery policy for this query: "lineage",
+	// "checkpoint", "coded" or "coded:k,n". Empty uses the server's
+	// -recovery default.
+	Recovery string `json:"recovery,omitempty"`
 
 	NoPlanCache         bool `json:"no_plan_cache,omitempty"`
 	NoIntermediateCache bool `json:"no_intermediate_cache,omitempty"`
@@ -93,6 +97,9 @@ type queryResponse struct {
 	IntermediateMiss int                     `json:"intermediate_misses"`
 	SharedHits       int                     `json:"shared_hits,omitempty"`
 	SharedProduced   int                     `json:"shared_produced,omitempty"`
+	CodedRecoveries  int                     `json:"coded_recoveries,omitempty"`
+	DecodeSec        float64                 `json:"decode_sec,omitempty"`
+	EncodeFLOP       float64                 `json:"encode_flop,omitempty"`
 	SelectedKeys     []string                `json:"selected_keys,omitempty"`
 }
 
@@ -119,6 +126,9 @@ func parseStrategy(s string) (opt.Strategy, error) {
 // generated once and shared read-only across queries.
 type handler struct {
 	srv *serve.Server
+	// recovery is the server-wide default recovery policy (-recovery),
+	// applied to queries that do not carry their own.
+	recovery engine.RecoveryPolicy
 
 	mu   sync.Mutex
 	data map[string]*data.Dataset
@@ -187,6 +197,13 @@ func (h *handler) buildQuery(req queryRequest) (serve.Query, error) {
 	}
 	q.Timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 	q.MaxIterations = req.MaxIterations
+	q.Recovery = h.recovery
+	if req.Recovery != "" {
+		q.Recovery, err = engine.ParseRecovery(req.Recovery)
+		if err != nil {
+			return q, err
+		}
+	}
 	q.NoPlanCache = req.NoPlanCache
 	q.NoIntermediateCache = req.NoIntermediateCache
 	return q, nil
@@ -225,6 +242,9 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 		IntermediateMiss: res.IntermediateMisses,
 		SharedHits:       res.SharedHits,
 		SharedProduced:   res.SharedProduced,
+		CodedRecoveries:  res.CodedRecoveries,
+		DecodeSec:        res.DecodeSec,
+		EncodeFLOP:       res.EncodeFLOP,
 		SelectedKeys:     res.SelectedKeys,
 	}
 	for name, m := range res.Values {
@@ -369,7 +389,13 @@ func main() {
 	retries := flag.Int("retries", 0, "max execution attempts per query (0: default 3, negative: no retries)")
 	hedge := flag.Bool("hedge", false, "hedge straggler queries past the p95 latency")
 	noBreaker := flag.Bool("no-breaker", false, "disable the admission circuit breaker / load shedder")
+	recoveryFlag := flag.String("recovery", "", "default recovery policy for queries that do not set one: lineage, checkpoint, coded or coded:k,n")
 	flag.Parse()
+
+	recovery, err := engine.ParseRecovery(*recoveryFlag)
+	if err != nil {
+		log.Fatalf("-recovery: %v", err)
+	}
 
 	srv := serve.New(serve.Config{
 		Workers:                 *workers,
@@ -382,7 +408,7 @@ func main() {
 		Hedge:                   resilience.HedgePolicy{Enabled: *hedge},
 		NoBreaker:               *noBreaker,
 	})
-	h := &handler{srv: srv, data: map[string]*data.Dataset{}}
+	h := &handler{srv: srv, recovery: recovery, data: map[string]*data.Dataset{}}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", h.query)
 	mux.HandleFunc("/stats", h.stats)

@@ -26,7 +26,8 @@ func main() {
 	nodes := flag.Int("nodes", 0, "cluster size override (0 = profile default; one node hosts the driver)")
 	faults := flag.Float64("faults", 0, "inject r worker failures, 2r transmission errors and r stragglers per simulated hour of work")
 	faultSeed := flag.Int64("fault-seed", 1, "fault schedule seed (same seed + rates = same schedule)")
-	checkpoint := flag.Bool("checkpoint", false, "persist loop-hoisted intermediates to DFS so failures recover them by re-reading")
+	checkpoint := flag.Bool("checkpoint", false, "persist loop-hoisted intermediates to DFS so failures recover them by re-reading (alias for -recovery checkpoint)")
+	recovery := flag.String("recovery", "", "recovery policy: lineage (default), checkpoint, coded or coded:k,n (k-of-n erasure-coded recovery)")
 	corruptRate := flag.Float64("corrupt-rate", 0, "inject r silent payload corruptions per simulated hour of work")
 	verify := flag.String("verify", "off", "integrity verification: off, digest (block checksums), abft (digest + multiply checksum vectors)")
 	nanGuard := flag.String("nan-guard", "off", "non-finite scan cadence: off, iter (loop variables each iteration), op (every operator output)")
@@ -61,7 +62,7 @@ func main() {
 	})
 	fatal(err)
 
-	opts := remac.RunOptions{Checkpoint: *checkpoint, Verify: *verify, NaNGuard: *nanGuard}
+	opts := remac.RunOptions{Recovery: *recovery, Checkpoint: *checkpoint, Verify: *verify, NaNGuard: *nanGuard}
 	if *faults > 0 || *corruptRate > 0 {
 		opts.Faults = &remac.FaultConfig{
 			Seed:                  *faultSeed,
@@ -94,6 +95,10 @@ func main() {
 	if *faults > 0 {
 		fmt.Printf("  fault recovery      %10.1f s (simulated: %d retries, %d worker failures, %.2f recompute GFLOP)\n",
 			report.RecoverySeconds, report.Retries, report.FailedWorkers, report.RecomputeFLOP/1e9)
+	}
+	if report.CodedRecoveries > 0 || report.EncodeFLOP > 0 {
+		fmt.Printf("  coded recovery      %10.1f s decode (simulated: %d k-of-n decodes, %.2f encode GFLOP)\n",
+			report.DecodeSeconds, report.CodedRecoveries, report.EncodeFLOP/1e9)
 	}
 	if *corruptRate > 0 || *verify != "off" {
 		detected := report.CorruptionsDetectedDigest + report.CorruptionsDetectedABFT

@@ -98,6 +98,9 @@ type runCfg struct {
 	// during the run; checkpoint persists LSE values against them.
 	faults     fault.Config
 	checkpoint bool
+	// recovery selects the failure-recovery policy (lineage, checkpoint,
+	// coded k-of-n); the zero value plus checkpoint=false means lineage.
+	recovery engine.RecoveryPolicy
 	// verify and nanGuard select the run's integrity layer (see
 	// engine.RunOptions).
 	verify   integrity.VerifyMode
@@ -119,6 +122,11 @@ type runOut struct {
 	RecoverySec   float64
 	RecomputeFLOP float64
 	FailedWorkers int
+
+	// Coded-recovery accounting (zero unless the run used a coded policy).
+	CodedRecoveries int
+	DecodeSec       float64
+	EncodeFLOP      float64
 
 	// Integrity accounting (zero unless corruption or verification was on).
 	CorruptionsInjected int
@@ -243,6 +251,7 @@ func runOneTraced(cfg runCfg, rec *trace.Recorder) (*runOut, error) {
 	fcfg.Workers = cfg.cluster.Workers()
 	res, err := engine.RunWithOptions(context.Background(), compiled, ins, rec, engine.RunOptions{
 		Faults:     fault.NewPlan(fcfg),
+		Recovery:   cfg.recovery,
 		Checkpoint: cfg.checkpoint,
 		Verify:     cfg.verify,
 		NaNGuard:   cfg.nanGuard,
@@ -261,6 +270,10 @@ func runOneTraced(cfg runCfg, rec *trace.Recorder) (*runOut, error) {
 		RecoverySec:   res.Stats.RecoverySec,
 		RecomputeFLOP: res.Stats.RecomputeFLOP,
 		FailedWorkers: res.Stats.FailedWorkers,
+
+		CodedRecoveries: res.Stats.CodedRecoveries,
+		DecodeSec:       res.Stats.DecodeSec,
+		EncodeFLOP:      res.Stats.EncodeFLOP,
 
 		CorruptionsInjected: res.Stats.CorruptionsInjected,
 		CorruptionsDigest:   res.Stats.CorruptionsDigest,

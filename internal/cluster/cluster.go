@@ -210,6 +210,12 @@ type Stats struct {
 	IntegrityRepairs    int     // lineage repair attempts for corrupted blocks
 	RepairSec           float64 // repair attempt seconds (included in RecoverySec)
 	VerifySec           float64 // digest/ABFT/scan seconds (included in ComputeTime)
+
+	// Coded-recovery accounting (all zero unless the coded recovery policy
+	// is enabled; see internal/distmat's coded layer).
+	CodedRecoveries int     // k-of-n decode recoveries (no recomputation)
+	DecodeSec       float64 // decode seconds (included in RecoverySec)
+	EncodeFLOP      float64 // parity encoding FLOP (included in FLOP)
 }
 
 // TotalTime returns the simulated wall-clock seconds, recovery included.
@@ -241,6 +247,11 @@ type Cluster struct {
 	// the cluster's own bookkeeping and outside the lock (the observer may
 	// charge recovery back into the cluster).
 	onFault func(FaultCharge)
+	// codedSpare is the number of parity blocks (n−k) of the coded recovery
+	// policy; when positive, up to codedSpare stragglers per charge are
+	// masked (the stage takes the first k-of-n completions) and forwarded to
+	// the observer for decode settlement instead of stretching the operator.
+	codedSpare int
 }
 
 // New returns a cluster for the configuration. It panics on an invalid
@@ -268,6 +279,10 @@ type FaultCharge struct {
 	Event       fault.Event
 	RecoverySec float64
 	Bytes       [numPrimitives]float64
+	// CodedMasked marks a straggler absorbed by the coded policy's spare
+	// blocks: the cluster charged nothing, and the runtime settles the
+	// k-of-n decode of the charging operator instead (see SetCoded).
+	CodedMasked bool
 }
 
 // SetFaults attaches a fault plan. Every subsequent Charge* call advances
@@ -284,6 +299,21 @@ func (c *Cluster) SetFaults(p *fault.Plan, observer func(FaultCharge)) {
 	c.inj = p.NewInjector()
 	c.backoffBase = p.BackoffBase()
 	c.onFault = observer
+}
+
+// SetCoded enables (spare > 0) or disables (spare <= 0) coded straggler
+// masking: with p = n−k spare blocks per coded operator, a stage needs only
+// the first k of its n block tasks, so up to p stragglers per charge are
+// absorbed — no stretch is charged, and the masked event is forwarded to
+// the fault observer (CodedMasked set) for the runtime to settle the decode.
+// Stragglers beyond the spare budget stretch the operator as usual.
+func (c *Cluster) SetCoded(spare int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if spare < 0 {
+		spare = 0
+	}
+	c.codedSpare = spare
 }
 
 // Config returns the cluster configuration.
@@ -387,10 +417,20 @@ func (c *Cluster) injectLocked(from, to float64, prof profile) []FaultCharge {
 	fired := make([]FaultCharge, 0, len(events))
 	retries := 0
 	stretched := 1.0
+	masked := 0
 	for _, ev := range events {
 		fc := FaultCharge{Event: ev}
 		switch ev.Kind {
 		case fault.Straggler:
+			// Under the coded policy a stage completes on the first k of
+			// its n block tasks, so the first n−k stragglers of a charge
+			// are absorbed: no stretch, just the decode the runtime settles
+			// from the forwarded event.
+			if masked < c.codedSpare {
+				masked++
+				fc.CodedMasked = true
+				break
+			}
 			factor := ev.Factor
 			if factor <= 1 {
 				factor = fault.DefaultStragglerFactor
@@ -456,6 +496,33 @@ func (c *Cluster) ChargeRecovery(flop, sec float64, bytes [4]float64) {
 	for i, b := range bytes {
 		c.stats.Bytes[i] += b
 	}
+}
+
+// ChargeCodedDecode accounts one k-of-n decode recovery performed by the
+// runtime's coded layer: sec lands in RecoverySec and the DecodeSec
+// attribution, bytes (reconstructed blocks re-shuffled to their homes) in
+// the per-primitive volumes, and the recovery is counted. No FLOP is
+// recomputed — that is the point of the coded policy. Like ChargeRecovery,
+// decode charges do not consult the fault injector.
+func (c *Cluster) ChargeCodedDecode(sec float64, bytes [4]float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.RecoverySec += sec
+	c.stats.DecodeSec += sec
+	c.stats.CodedRecoveries++
+	for i, b := range bytes {
+		c.stats.Bytes[i] += b
+	}
+}
+
+// AddEncodeFLOP attributes parity-encoding work to the EncodeFLOP counter.
+// Like the integrity attributions it only moves a counter: the encoding
+// seconds, FLOP and bytes are charged through ChargeProfile, so reports can
+// split the coded policy's overhead out of the totals without double-booking.
+func (c *Cluster) AddEncodeFLOP(flop float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.EncodeFLOP += flop
 }
 
 // IntegrityCharge attributes integrity-layer outcomes to the stats counters.

@@ -49,6 +49,17 @@ type Context struct {
 	// a distributed value whose epoch lags behind lost blocks to the
 	// failures in between and lazily repairs itself when next used.
 	failEpoch int
+	// failLog records the worker index of each failure, in epoch order
+	// (len == failEpoch). Coded repair derives the erased data groups of a
+	// value from the distinct workers failed since its epoch (coded.go).
+	failLog []int
+	// codedK/codedN are the coded-recovery parameters (0 = coded recovery
+	// off); codedSeq numbers encoded values for deterministic placement.
+	codedK, codedN int
+	codedSeq       int64
+	// masked holds the stretch factors of straggler events the cluster
+	// masked against a coded stage, awaiting settlement by codedSettle.
+	masked []float64
 	// pending holds corruption events the injector fired but the integrity
 	// layer has not yet settled against the charging operator's payload.
 	pending []fault.Event
@@ -80,6 +91,22 @@ func (ctx *Context) onFault(fc cluster.FaultCharge) {
 	}
 	if fc.Event.Kind == fault.WorkerFailure {
 		ctx.failEpoch++
+		ctx.failLog = append(ctx.failLog, fc.Event.Worker)
+	}
+	if fc.CodedMasked {
+		// The cluster masked this straggler against a coded stage: the
+		// stage ends at the k fastest completions, so the stretch costs
+		// nothing now; codedSettle decodes the slow task's block from
+		// parity (or charges the stretch retroactively if the stage's
+		// output carries no parity). The zero-cost span keeps the fault
+		// visible in the trace.
+		f := fc.Event.Factor
+		if f <= 1 {
+			f = fault.DefaultStragglerFactor
+		}
+		ctx.masked = append(ctx.masked, f)
+		ctx.Recorder.Record(trace.FaultOp("fault", "fault/"+fc.Event.Kind.String(), 0, 0, fc.Bytes))
+		return
 	}
 	ctx.Recorder.Record(trace.FaultOp("fault", "fault/"+fc.Event.Kind.String(), fc.RecoverySec, 0, fc.Bytes))
 }
@@ -114,6 +141,10 @@ type DistMatrix struct {
 	// ckpt marks values persisted to DFS by Checkpoint; their recovery
 	// costs a DFS read regardless of lineage.
 	ckpt bool
+	// parity is the erasure-code state when coded recovery is enabled:
+	// p parity blocks persisted to DFS from which erased data groups
+	// decode without recomputation (coded.go).
+	parity *codedParity
 }
 
 // New wraps a materialized matrix with virtual dimensions and places it
@@ -138,6 +169,7 @@ func Read(ctx *Context, m *matrix.Matrix, vRows, vCols int64) *DistMatrix {
 		ctx.PartitionSec += bd.Total()
 		chargeWorkers(ctx, d)
 		d.data = ctx.settle("dfs-read", "dfs-read", bd, meta, d.data, nil)
+		ctx.codedSettle(d, bd)
 	}
 	return d
 }
@@ -155,7 +187,9 @@ func (d *DistMatrix) VirtualDims() (int64, int64) { return d.vMeta.Rows, d.vMeta
 func (d *DistMatrix) Meta() sparsity.Meta { return d.vMeta }
 
 func (d *DistMatrix) derive(m *matrix.Matrix, meta sparsity.Meta, local bool, prod cost.Breakdown) *DistMatrix {
-	return &DistMatrix{ctx: d.ctx, data: m, vMeta: meta, local: local, prod: prod, epoch: d.ctx.failEpoch}
+	nd := &DistMatrix{ctx: d.ctx, data: m, vMeta: meta, local: local, prod: prod, epoch: d.ctx.failEpoch}
+	d.ctx.codedSettle(nd, prod)
+	return nd
 }
 
 // repair settles a value whose blocks were lost to worker failures since it
@@ -169,10 +203,17 @@ func (d *DistMatrix) repair() {
 	if d.epoch == ctx.failEpoch {
 		return
 	}
+	from := d.epoch
 	k := ctx.failEpoch - d.epoch
 	d.epoch = ctx.failEpoch
 	if d.local {
 		return // driver memory survives worker failures
+	}
+	if d.parity != nil {
+		// Coded values track which workers failed and decode the erased
+		// data groups from parity (coded.go).
+		d.repairCoded(from)
+		return
 	}
 	// Each failure loses a 1/W slice of the partitions; k independent
 	// failures lose 1-(1-1/W)^k of them.

@@ -103,6 +103,47 @@ func TestInputRepairsAtDFSReadCost(t *testing.T) {
 	}
 }
 
+// TestDFSReadRepairSpanAndBytes pins down the recovery/dfs-read fallback:
+// the repair records exactly one span with that label, the span's DFS
+// bytes equal the lost fraction of the re-read (mirrored in the cluster
+// stats), and the materialized sample is left bitwise untouched — the
+// re-read restores the same partitions, so the value must not change.
+func TestDFSReadRepairSpanAndBytes(t *testing.T) {
+	c := faultCtx(fault.Event{At: 1e18, Kind: fault.WorkerFailure})
+	rng := rand.New(rand.NewSource(37))
+	a := scaledDataset(c, rng)
+	want := a.Data() // inputs have no lineage: repair must re-read, not rebuild
+	before := c.Cluster.Stats()
+
+	c.onFault(cluster.FaultCharge{Event: fault.Event{Kind: fault.WorkerFailure}})
+	a.Sum()
+
+	bd := c.Model.DFSRead(a.Meta())
+	lost := 1 / workers(c)
+	var spans int
+	var spanDFS float64
+	for _, sp := range c.Recorder.Spans() {
+		if sp.Label != "recovery/dfs-read" {
+			continue
+		}
+		spans++
+		spanDFS = sp.Bytes["dfs"]
+	}
+	if spans != 1 {
+		t.Fatalf("found %d recovery/dfs-read spans, want 1", spans)
+	}
+	if wantBytes := bd.Bytes[cluster.DFS] * lost; math.Abs(spanDFS-wantBytes) > 1e-6*(1+wantBytes) {
+		t.Fatalf("span DFS bytes = %g, want lost re-read fraction %g", spanDFS, wantBytes)
+	}
+	s := c.Cluster.Stats()
+	if got := s.BytesFor(cluster.DFS) - before.BytesFor(cluster.DFS); math.Abs(got-spanDFS) > 1e-6*(1+spanDFS) {
+		t.Fatalf("stats charged %g DFS bytes, span carries %g", got, spanDFS)
+	}
+	if a.Data() != want {
+		t.Fatal("dfs-read repair must leave the sample bitwise identical (same matrix)")
+	}
+}
+
 // TestCheckpointSwitchesRecoveryToDFSRead: a checkpointed intermediate pays
 // one DFS write and thereafter recovers at read cost instead of recompute.
 func TestCheckpointSwitchesRecoveryToDFSRead(t *testing.T) {

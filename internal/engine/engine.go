@@ -143,9 +143,13 @@ type RunOptions struct {
 	// Faults schedules deterministic worker failures, transmission errors
 	// and stragglers against the simulated clock. Nil disables injection.
 	Faults *fault.Plan
-	// Checkpoint persists LSE-hoisted intermediates to DFS (one DFS write
-	// each) so worker failures recover them at DFS-read cost instead of
-	// re-running their producing lineage.
+	// Recovery selects how blocks lost to injected worker failures are
+	// rebuilt: lineage recomputation (the zero value), DFS checkpoints of
+	// LSE-hoisted intermediates, or k-of-n coded recovery. See
+	// RecoveryPolicy.
+	Recovery RecoveryPolicy
+	// Checkpoint is the legacy toggle for RecoverCheckpoint, kept for
+	// back-compat: it is honored only when Recovery is the zero policy.
 	Checkpoint bool
 	// MaxIter overrides MaxIterations when positive.
 	MaxIter int
@@ -195,6 +199,14 @@ func RunTraced(c *opt.Compiled, inputs map[string]Input, rec *trace.Recorder) (*
 // its deadline passes, the run stops promptly and returns an error wrapping
 // ErrCanceled.
 func RunWithOptions(goCtx context.Context, c *opt.Compiled, inputs map[string]Input, rec *trace.Recorder, opts RunOptions) (*Result, error) {
+	rp := opts.Recovery
+	if rp == (RecoveryPolicy{}) && opts.Checkpoint {
+		rp.Kind = RecoverCheckpoint
+	}
+	rp, err := rp.Normalize()
+	if err != nil {
+		return nil, err
+	}
 	cl := cluster.New(c.Config.Cluster)
 	ctx := distmat.NewContext(cl)
 	ctx.Recorder = rec
@@ -202,6 +214,9 @@ func RunWithOptions(goCtx context.Context, c *opt.Compiled, inputs map[string]In
 	ctx.NaNGuard = opts.NaNGuard
 	if opts.Faults.Enabled() {
 		ctx.EnableFaults(opts.Faults)
+	}
+	if rp.Kind == RecoverCoded {
+		ctx.EnableCoded(rp.K, rp.N)
 	}
 	e := &executor{
 		c:          c,
@@ -211,7 +226,7 @@ func RunWithOptions(goCtx context.Context, c *opt.Compiled, inputs map[string]In
 		env:        map[string]*distmat.DistMatrix{},
 		inputs:     inputs,
 		lseCache:   map[string]*distmat.DistMatrix{},
-		checkpoint: opts.Checkpoint,
+		checkpoint: rp.Kind == RecoverCheckpoint,
 		inter:      opts.Intermediates,
 		shared:     opts.Shared,
 	}

@@ -1,0 +1,63 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestCheckedConstructorsRejectNonSlowdownFactors: a straggler factor in
+// (0,1] or negative is set-but-meaningless and must come back as a typed
+// *FactorError from both checked constructors, never be silently replaced.
+func TestCheckedConstructorsRejectNonSlowdownFactors(t *testing.T) {
+	for _, f := range []float64{-2, -0.5, 0.25, 0.999, 1} {
+		_, err := NewChecked(Config{StragglersPerHour: 10, StragglerFactor: f, Workers: 4})
+		var fe *FactorError
+		if !errors.As(err, &fe) {
+			t.Fatalf("NewChecked(factor=%g) err = %v, want *FactorError", f, err)
+		}
+		if fe.Factor != f {
+			t.Fatalf("FactorError.Factor = %g, want %g", fe.Factor, f)
+		}
+
+		_, err = FromEventsChecked(Event{At: 1, Kind: Straggler, Factor: f})
+		if !errors.As(err, &fe) {
+			t.Fatalf("FromEventsChecked(factor=%g) err = %v, want *FactorError", f, err)
+		}
+	}
+}
+
+// TestUnsetFactorStillDefaults: factor 0 means unset and keeps selecting
+// DefaultStragglerFactor in both constructors.
+func TestUnsetFactorStillDefaults(t *testing.T) {
+	p, err := NewChecked(Config{StragglersPerHour: 10, Workers: 4})
+	if err != nil || p == nil {
+		t.Fatalf("NewChecked with unset factor: plan=%v err=%v", p, err)
+	}
+	if p.cfg.StragglerFactor != DefaultStragglerFactor {
+		t.Fatalf("unset factor = %g, want default %g", p.cfg.StragglerFactor, DefaultStragglerFactor)
+	}
+	p, err = FromEventsChecked(Event{At: 1, Kind: Straggler})
+	if err != nil || p == nil {
+		t.Fatalf("FromEventsChecked with unset factor: plan=%v err=%v", p, err)
+	}
+	if got := p.events[0].Factor; got != DefaultStragglerFactor {
+		t.Fatalf("unset event factor = %g, want default %g", got, DefaultStragglerFactor)
+	}
+}
+
+// TestValidFactorAccepted: a genuine slowdown passes through both checked
+// constructors, and the panicking wrappers panic only on invalid input.
+func TestValidFactorAccepted(t *testing.T) {
+	if _, err := NewChecked(Config{StragglersPerHour: 10, StragglerFactor: 3.5, Workers: 4}); err != nil {
+		t.Fatalf("NewChecked(factor=3.5) err = %v", err)
+	}
+	if _, err := FromEventsChecked(Event{At: 1, Kind: Straggler, Factor: 1.01}); err != nil {
+		t.Fatalf("FromEventsChecked(factor=1.01) err = %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromEvents must panic on an invalid factor")
+		}
+	}()
+	FromEvents(Event{At: 1, Kind: Straggler, Factor: 0.5})
+}

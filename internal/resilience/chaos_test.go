@@ -41,12 +41,13 @@ const (
 	kindDivergent                  // MaxIterations=1 bomb: typed MaxIterations error
 	kindCorrupt                    // silent corruption + ABFT: bitwise-repaired or typed Integrity error
 	kindNaN                        // overflowing loop + per-op guard: typed Numeric error
+	kindCoded                      // straggler-heavy + coded recovery: tolerance-correct success
 )
 
-// kindOf deterministically assigns a kind to a storm index: ~50% healthy,
-// ~8% each of the six failure modes.
+// kindOf deterministically assigns a kind to a storm index: ~46% healthy,
+// ~8% each of the seven chaos modes.
 func kindOf(i int) queryKind {
-	switch h := uint64(fault.DeriveSeed(chaosSeed, i)) % 12; {
+	switch h := uint64(fault.DeriveSeed(chaosSeed, i)) % 13; {
 	case h < 6:
 		return kindHealthy
 	case h < 7:
@@ -59,8 +60,10 @@ func kindOf(i int) queryKind {
 		return kindDivergent
 	case h < 11:
 		return kindCorrupt
-	default:
+	case h < 12:
 		return kindNaN
+	default:
+		return kindCoded
 	}
 }
 
@@ -110,6 +113,39 @@ func nanQuery(t testing.TB) serve.Query {
 	q.Dataset = "cri1-nan"
 	q.Iterations = 6
 	return q
+}
+
+// tolerantEqualValues compares two value sets entry-wise within a relative
+// tolerance — the contract of the coded parity-decode path, whose
+// reconstructed blocks carry float residue instead of bitwise identity.
+func tolerantEqualValues(a, b map[string]*matrix.Matrix, tol float64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("variable sets differ: %d vs %d", len(a), len(b))
+	}
+	for name, av := range a {
+		bv, ok := b[name]
+		if !ok {
+			return fmt.Errorf("variable %s missing", name)
+		}
+		if av.Rows() != bv.Rows() || av.Cols() != bv.Cols() {
+			return fmt.Errorf("variable %s shape differs", name)
+		}
+		var maxDiff, maxAbs float64
+		for i := 0; i < av.Rows(); i++ {
+			for j := 0; j < av.Cols(); j++ {
+				if d := math.Abs(av.At(i, j) - bv.At(i, j)); d > maxDiff {
+					maxDiff = d
+				}
+				if m := math.Abs(bv.At(i, j)); m > maxAbs {
+					maxAbs = m
+				}
+			}
+		}
+		if maxAbs > 0 && maxDiff/maxAbs > tol {
+			return fmt.Errorf("variable %s deviates by %g relative, tolerance %g", name, maxDiff/maxAbs, tol)
+		}
+	}
+	return nil
 }
 
 func bitwiseEqualValues(a, b map[string]*matrix.Matrix) error {
@@ -188,6 +224,15 @@ func TestChaosSoak(t *testing.T) {
 		CorruptionsPerHour: 720,
 		Workers:            8,
 	})
+	// A straggler-heavy root for the coded clients: k-of-n recovery masks
+	// stragglers by decoding their blocks from parity, so this is the
+	// schedule that exercises the decode path hardest.
+	stragglerFaults := fault.NewPlan(fault.Config{
+		Seed:                  chaosSeed ^ 0x0DED,
+		WorkerFailuresPerHour: 120,
+		StragglersPerHour:     720,
+		Workers:               8,
+	})
 
 	s := serve.New(serve.Config{
 		Workers:    4,
@@ -240,6 +285,9 @@ func TestChaosSoak(t *testing.T) {
 				case kindNaN:
 					q = nanQuery(t)
 					q.NaNGuard = integrity.GuardPerOp
+				case kindCoded:
+					q.Faults = stragglerFaults.Derive(i)
+					q.Recovery = engine.RecoveryPolicy{Kind: engine.RecoverCoded}
 				}
 				res, err := s.Do(ctx, q)
 				outcomes[i] = outcome{idx: i, kind: kind, res: res, err: err}
@@ -263,7 +311,7 @@ func TestChaosSoak(t *testing.T) {
 		t.Fatal("storm did not settle: a Do call is stuck")
 	}
 
-	var ok, shed, canceled, internal, divergent, repaired, unrepaired, numeric int
+	var ok, shed, canceled, internal, divergent, repaired, unrepaired, numeric, coded, decoded int
 	for _, o := range outcomes {
 		// Any kind may be shed by admission control; that is an availability
 		// cost, never a correctness one.
@@ -339,6 +387,28 @@ func TestChaosSoak(t *testing.T) {
 				continue
 			}
 			numeric++
+		case kindCoded:
+			// The coded contract: straggler-heavy queries succeed without
+			// recomputation-style divergence — bitwise identical to the
+			// serial reference when no decode ran, within 1e-9 relative
+			// when the parity-decode path reconstructed blocks.
+			if o.err != nil {
+				t.Errorf("query %d (coded): %v", o.idx, o.err)
+				continue
+			}
+			ok++
+			coded++
+			if o.res.EncodeFLOP == 0 {
+				t.Errorf("query %d: coded query charged no parity encoding", o.idx)
+			}
+			if o.res.CodedRecoveries > 0 {
+				decoded++
+				if err := tolerantEqualValues(o.res.Values, refs[variantOf(o.idx)], 1e-9); err != nil {
+					t.Errorf("query %d: coded decode left a wrong result: %v", o.idx, err)
+				}
+			} else if err := bitwiseEqualValues(o.res.Values, refs[variantOf(o.idx)]); err != nil {
+				t.Errorf("query %d: coded query without decodes diverged from serial reference: %v", o.idx, err)
+			}
 		}
 	}
 	if ok == 0 {
@@ -347,8 +417,8 @@ func TestChaosSoak(t *testing.T) {
 	if internal == 0 && !testing.Short() {
 		t.Error("no panic probe surfaced an Internal error (storm mixture broken?)")
 	}
-	t.Logf("storm: %d ok, %d shed, %d canceled, %d internal, %d divergent, %d repaired, %d unrepaired, %d numeric of %d",
-		ok, shed, canceled, internal, divergent, repaired, unrepaired, numeric, storm)
+	t.Logf("storm: %d ok, %d shed, %d canceled, %d internal, %d divergent, %d repaired, %d unrepaired, %d numeric, %d coded (%d with decodes) of %d",
+		ok, shed, canceled, internal, divergent, repaired, unrepaired, numeric, coded, decoded, storm)
 
 	// The server must still serve after the storm — panic probes and an
 	// open-then-recovered breaker may not wedge it.
@@ -411,9 +481,9 @@ func TestChaosStormDeterministicMixture(t *testing.T) {
 	if h := counts[kindHealthy]; h < 400 || h > 600 {
 		t.Errorf("healthy fraction %d/1000, want ~500", h)
 	}
-	for _, k := range []queryKind{kindFlaky, kindPanic, kindTimeout, kindDivergent, kindCorrupt, kindNaN} {
+	for _, k := range []queryKind{kindFlaky, kindPanic, kindTimeout, kindDivergent, kindCorrupt, kindNaN, kindCoded} {
 		if c := counts[k]; c < 40 || c > 140 {
-			t.Errorf("kind %d fraction %d/1000, want ~83", k, c)
+			t.Errorf("kind %d fraction %d/1000, want ~77", k, c)
 		}
 	}
 }

@@ -41,6 +41,10 @@ type metrics struct {
 	corrRepairs  uint64
 	repairSec    float64
 
+	codedRecovered uint64
+	codedDecodeSec float64
+	codedEncFLOP   float64
+
 	mqoBatches    uint64
 	mqoMembers    uint64
 	mqoOverlapped uint64
@@ -168,6 +172,16 @@ func (m *metrics) integrityCounts(injected, byDigest, byABFT, repairs int, repai
 	m.mu.Unlock()
 }
 
+// codedCounts folds one query's coded-recovery accounting into the
+// server-wide totals.
+func (m *metrics) codedCounts(recoveries int, decodeSec, encodeFLOP float64) {
+	m.mu.Lock()
+	m.codedRecovered += uint64(recoveries)
+	m.codedDecodeSec += decodeSec
+	m.codedEncFLOP += encodeFLOP
+	m.mu.Unlock()
+}
+
 // mqoAdmitted records one query joining an MQO batch (newBatch marks the
 // admission that opened it); batch occupancy is members/batches.
 func (m *metrics) mqoAdmitted(newBatch bool) {
@@ -267,6 +281,13 @@ type Snapshot struct {
 	IntegrityRepairs    uint64  `json:"integrity_repairs"`
 	RepairSec           float64 `json:"repair_sec"`
 
+	// Coded-recovery counters: k-of-n decode recoveries served queries
+	// performed (no recomputation), their simulated decode time, and the
+	// parity-encoding work the coded policy charged.
+	CodedRecoveries uint64  `json:"coded_recoveries"`
+	DecodeSec       float64 `json:"decode_sec"`
+	EncodeFLOP      float64 `json:"encode_flop"`
+
 	// MQO (cross-query redundancy elimination) counters: batches formed
 	// and queries batched (occupancy = queries/batches), shared-key
 	// overlaps observed in the cross-query subexpression index, producer
@@ -309,6 +330,10 @@ func (m *metrics) snapshot() Snapshot {
 		CorruptionsABFT:     m.corrABFT,
 		IntegrityRepairs:    m.corrRepairs,
 		RepairSec:           m.repairSec,
+
+		CodedRecoveries: m.codedRecovered,
+		DecodeSec:       m.codedDecodeSec,
+		EncodeFLOP:      m.codedEncFLOP,
 
 		MQOBatches:        m.mqoBatches,
 		MQOBatchedQueries: m.mqoMembers,

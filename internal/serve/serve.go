@@ -158,7 +158,15 @@ type Query struct {
 	// identical to a fault-free run). Use Plan.Derive to give each member
 	// of a concurrent storm its own sub-stream.
 	Faults *fault.Plan
-	// Checkpoint persists LSE-hoisted intermediates to simulated DFS (see
+	// Recovery selects the recovery policy for this query's run: lineage
+	// recomputation (zero value), DFS checkpoints, or k-of-n coded
+	// recovery (see engine.RecoveryPolicy). A coded query with faults
+	// enabled opts out of cross-query value sharing: its intermediates may
+	// carry parity-decode float residue, which must not propagate into
+	// sibling queries that expect bitwise-reproducible values.
+	Recovery engine.RecoveryPolicy
+	// Checkpoint is the legacy toggle for Recovery checkpointing, honored
+	// only when Recovery is the zero policy (see
 	// engine.RunOptions.Checkpoint).
 	Checkpoint bool
 	// Verify selects the integrity verification mode for this query's run
@@ -218,6 +226,12 @@ type QueryResult struct {
 	// many the enabled verification mode caught (digest + ABFT), and the
 	// lineage repair attempts they cost.
 	CorruptionsInjected, CorruptionsDetected, IntegrityRepairs int
+	// CodedRecoveries / DecodeSec / EncodeFLOP report the coded-recovery
+	// accounting of the run: k-of-n decodes performed (no recomputation),
+	// their simulated decode time, and the parity-encoding work charged.
+	CodedRecoveries int
+	DecodeSec       float64
+	EncodeFLOP      float64
 	// FLOP is the total floating-point work charged to this query's
 	// simulated cluster. Adopting a shared producer charges nothing, so
 	// batched arms of a workload sum to less than unbatched ones.
@@ -686,15 +700,19 @@ func (s *Server) execute(ctx context.Context, j *job) (out *QueryResult, err err
 	if q.Trace {
 		rec = trace.New()
 	}
+	// A coded-recovery query under fault injection may hold values rebuilt
+	// through the tolerance-bounded parity-decode path; keep them out of
+	// the cross-query caches, whose contract is bitwise reproducibility.
+	codedFaults := q.Recovery.Kind == engine.RecoverCoded && q.Faults.Enabled()
 	var view *interView
 	var inter engine.IntermediateCache
-	if s.inter != nil && !q.NoIntermediateCache && q.Dataset != "" {
+	if s.inter != nil && !q.NoIntermediateCache && q.Dataset != "" && !codedFaults {
 		view = s.inter.view(s.namespaceFor(q))
 		inter = view
 	}
 	var sess *mqoSession
 	var shared engine.SharedProducers
-	if j.batch != nil && s.shareEligible(q) {
+	if j.batch != nil && s.shareEligible(q) && !codedFaults {
 		sess = j.batch.session(s.namespaceFor(q))
 		shared = sess
 		// The deferred close settles any leadership this run still holds
@@ -714,6 +732,7 @@ func (s *Server) execute(ctx context.Context, j *job) (out *QueryResult, err err
 	res, err := engine.RunWithOptions(ctx, compiled, q.Inputs, rec, engine.RunOptions{
 		MaxIter:       q.MaxIterations,
 		Faults:        q.Faults,
+		Recovery:      q.Recovery,
 		Checkpoint:    q.Checkpoint,
 		Intermediates: inter,
 		Shared:        shared,
@@ -754,6 +773,12 @@ func (s *Server) execute(ctx context.Context, j *job) (out *QueryResult, err err
 	out.IntegrityRepairs = st.IntegrityRepairs
 	if st.CorruptionsInjected > 0 || st.IntegrityRepairs > 0 {
 		s.metrics.integrityCounts(st.CorruptionsInjected, st.CorruptionsDigest, st.CorruptionsABFT, st.IntegrityRepairs, st.RepairSec)
+	}
+	out.CodedRecoveries = st.CodedRecoveries
+	out.DecodeSec = st.DecodeSec
+	out.EncodeFLOP = st.EncodeFLOP
+	if st.CodedRecoveries > 0 || st.EncodeFLOP > 0 {
+		s.metrics.codedCounts(st.CodedRecoveries, st.DecodeSec, st.EncodeFLOP)
 	}
 	return out, nil
 }

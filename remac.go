@@ -342,8 +342,15 @@ type FaultConfig struct {
 type RunOptions struct {
 	// Faults enables deterministic fault injection when non-nil.
 	Faults *FaultConfig
-	// Checkpoint persists loop-hoisted (LSE) intermediates to DFS once so
-	// worker failures recover them at DFS-read cost instead of recompute.
+	// Recovery selects the recovery policy for blocks lost to injected
+	// worker failures: "" or "lineage" (recompute from lineage),
+	// "checkpoint" (persist loop-hoisted intermediates to DFS once),
+	// "coded" or "coded:k,n" (systematic k-of-n erasure coding: parity
+	// blocks are encoded at honest cost and erased blocks decode with no
+	// recomputation).
+	Recovery string
+	// Checkpoint is the legacy toggle for Recovery: "checkpoint", honored
+	// only when Recovery is unset.
 	Checkpoint bool
 	// MaxIterations overrides the engine's runaway-loop cap when positive.
 	MaxIterations int
@@ -359,11 +366,11 @@ type RunOptions struct {
 	NaNGuard string
 }
 
-func (f *FaultConfig) internal(workers int) *fault.Plan {
+func (f *FaultConfig) internal(workers int) (*fault.Plan, error) {
 	if f == nil {
-		return nil
+		return nil, nil
 	}
-	return fault.NewPlan(fault.Config{
+	return fault.NewChecked(fault.Config{
 		Seed:                  f.Seed,
 		WorkerFailuresPerHour: f.WorkerFailuresPerHour,
 		TransmitErrorsPerHour: f.TransmitErrorsPerHour,
@@ -410,6 +417,15 @@ type Report struct {
 	RecomputeFLOP float64
 	// FailedWorkers counts injected worker-failure events.
 	FailedWorkers int
+	// CodedRecoveries counts k-of-n decode recoveries (coded policy only):
+	// lost blocks rebuilt from parity with no recomputation.
+	CodedRecoveries int
+	// DecodeSeconds is the simulated time those decodes cost (included in
+	// RecoverySeconds).
+	DecodeSeconds float64
+	// EncodeFLOP is the parity-encoding work the coded policy charged
+	// (included in the run's total FLOP).
+	EncodeFLOP float64
 
 	// Integrity accounting (all zero unless corruption was injected or a
 	// verification mode was on).
@@ -489,8 +505,17 @@ func (p *Program) run(ctx context.Context, rec *trace.Recorder, opts RunOptions)
 	if err != nil {
 		return nil, err
 	}
+	recovery, err := engine.ParseRecovery(opts.Recovery)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := opts.Faults.internal(p.compiled.Config.Cluster.Workers())
+	if err != nil {
+		return nil, err
+	}
 	res, err := engine.RunWithOptions(ctx, p.compiled, ins, rec, engine.RunOptions{
-		Faults:     opts.Faults.internal(p.compiled.Config.Cluster.Workers()),
+		Faults:     plan,
+		Recovery:   recovery,
 		Checkpoint: opts.Checkpoint,
 		MaxIter:    opts.MaxIterations,
 		Verify:     verify,
@@ -512,6 +537,9 @@ func (p *Program) run(ctx context.Context, rec *trace.Recorder, opts RunOptions)
 		RecoverySeconds:       res.Stats.RecoverySec,
 		RecomputeFLOP:         res.Stats.RecomputeFLOP,
 		FailedWorkers:         res.Stats.FailedWorkers,
+		CodedRecoveries:       res.Stats.CodedRecoveries,
+		DecodeSeconds:         res.Stats.DecodeSec,
+		EncodeFLOP:            res.Stats.EncodeFLOP,
 
 		CorruptionsInjected:       res.Stats.CorruptionsInjected,
 		CorruptionsDetectedDigest: res.Stats.CorruptionsDigest,
