@@ -1,0 +1,297 @@
+// remac-gateway fronts a sharded serving tier (internal/gateway): N
+// in-process serve.Server shards behind a consistent-hash router with
+// per-tenant admission quotas, acknowledged cross-shard invalidation and
+// an audit plane.
+//
+// Usage:
+//
+//	remac-gateway -shards 3                          # 3 shards on :8357
+//	remac-gateway -shards 4 -spill 2 \
+//	    -quota noisy=0.5:1:1 -quota batch=10:20:8    # per-tenant quotas
+//
+// Endpoints:
+//
+//	POST /query   same body as remac-serve, plus tenant identity via the
+//	              X-Tenant header or a "tenant" JSON field. Replies carry
+//	              the serving shard, whether the query spilled off its home
+//	              shard, and the request id.
+//	GET  /stats   aggregate view: merged cross-shard snapshot, per-shard
+//	              and per-tenant breakdowns, routing/audit counters.
+//	POST /invalidate?dataset=cri2  acknowledged fan-out: bumps the version
+//	              on every shard before replying, so no shard serves the
+//	              old version once the response arrives.
+//	GET  /audit   most recent audit events (?n= bounds the tail).
+//	GET  /healthz liveness; GET /readyz readiness (ready while at least one
+//	              shard admits).
+//
+// Tenants over their token-bucket QPS or concurrency quota receive 429
+// with Retry-After and a structured JSON body; whole-tier overload is 503.
+// Every response echoes X-Request-ID (client-sent or generated).
+//
+// SIGINT/SIGTERM drain every shard, flush the audit queue, then exit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"remac/internal/engine"
+	"remac/internal/gateway"
+	"remac/internal/httpapi"
+	"remac/internal/resilience"
+	"remac/internal/serve"
+)
+
+// handler adapts the gateway API to HTTP.
+type handler struct {
+	gw      *gateway.Gateway
+	builder *httpapi.QueryBuilder
+}
+
+func (h *handler) query(w http.ResponseWriter, r *http.Request) {
+	rid := httpapi.RequestID(r)
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req httpapi.QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpapi.WriteError(w, rid, &resilience.QueryError{Class: resilience.Compile, Stage: "request", Err: err})
+		return
+	}
+	q, err := h.builder.Build(req)
+	if err != nil {
+		httpapi.WriteError(w, rid, &resilience.QueryError{Class: resilience.Compile, Stage: "request", Err: err})
+		return
+	}
+	res, err := h.gw.Do(r.Context(), gateway.Request{
+		Tenant:    httpapi.Tenant(r, req),
+		RequestID: rid,
+		Query:     q,
+	})
+	if err != nil {
+		httpapi.WriteError(w, rid, err)
+		return
+	}
+	resp := httpapi.BuildResponse(res.QueryResult)
+	resp.RequestID = res.RequestID
+	resp.Shard = res.ShardID
+	resp.Spilled = res.Spilled
+	httpapi.WriteJSON(w, rid, resp)
+}
+
+func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
+	rid := httpapi.RequestID(r)
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	httpapi.WriteJSON(w, rid, h.gw.Stats())
+}
+
+func (h *handler) invalidate(w http.ResponseWriter, r *http.Request) {
+	rid := httpapi.RequestID(r)
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	ds := strings.TrimSpace(r.URL.Query().Get("dataset"))
+	if ds == "" {
+		httpapi.WriteError(w, rid, &resilience.QueryError{
+			Class: resilience.Compile, Stage: "request", Err: fmt.Errorf("dataset parameter required"),
+		})
+		return
+	}
+	v := h.gw.InvalidateDataset(ds)
+	httpapi.WriteJSON(w, rid, map[string]any{
+		"dataset": ds, "version": v, "shard_versions": h.gw.ShardVersions(ds),
+	})
+}
+
+func (h *handler) audit(w http.ResponseWriter, r *http.Request) {
+	rid := httpapi.RequestID(r)
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	n := 0
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			httpapi.WriteError(w, rid, &resilience.QueryError{
+				Class: resilience.Compile, Stage: "request", Err: fmt.Errorf("n must be a non-negative integer"),
+			})
+			return
+		}
+		n = v
+	}
+	events := h.gw.Audit(n)
+	if events == nil {
+		events = []gateway.Event{}
+	}
+	httpapi.WriteJSON(w, rid, map[string]any{"events": events})
+}
+
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	rid := httpapi.RequestID(r)
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	httpapi.WriteJSON(w, rid, h.gw.Healthz())
+}
+
+func (h *handler) readyz(w http.ResponseWriter, r *http.Request) {
+	rid := httpapi.RequestID(r)
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	hz := h.gw.Readyz()
+	if !hz.OK {
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set(httpapi.RequestIDHeader, rid)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(hz); err != nil {
+			log.Printf("encode readyz: %v", err)
+		}
+		return
+	}
+	httpapi.WriteJSON(w, rid, hz)
+}
+
+// newMux wires the handler's routes (shared with the tests).
+func newMux(h *handler) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", h.query)
+	mux.HandleFunc("/stats", h.stats)
+	mux.HandleFunc("/invalidate", h.invalidate)
+	mux.HandleFunc("/audit", h.audit)
+	mux.HandleFunc("/healthz", h.healthz)
+	mux.HandleFunc("/readyz", h.readyz)
+	return mux
+}
+
+// parseQuota parses one -quota value: "tenant=qps[:burst[:concurrent]]".
+func parseQuota(spec string) (string, gateway.TenantQuota, error) {
+	name, rest, ok := strings.Cut(spec, "=")
+	name = strings.TrimSpace(name)
+	if !ok || name == "" || rest == "" {
+		return "", gateway.TenantQuota{}, fmt.Errorf("quota %q: want tenant=qps[:burst[:concurrent]]", spec)
+	}
+	parts := strings.Split(rest, ":")
+	if len(parts) > 3 {
+		return "", gateway.TenantQuota{}, fmt.Errorf("quota %q: too many fields", spec)
+	}
+	var q gateway.TenantQuota
+	var err error
+	if q.QPS, err = strconv.ParseFloat(parts[0], 64); err != nil || q.QPS < 0 {
+		return "", gateway.TenantQuota{}, fmt.Errorf("quota %q: bad qps %q", spec, parts[0])
+	}
+	if len(parts) > 1 {
+		if q.Burst, err = strconv.Atoi(parts[1]); err != nil || q.Burst < 0 {
+			return "", gateway.TenantQuota{}, fmt.Errorf("quota %q: bad burst %q", spec, parts[1])
+		}
+	}
+	if len(parts) > 2 {
+		if q.MaxConcurrent, err = strconv.Atoi(parts[2]); err != nil || q.MaxConcurrent < 0 {
+			return "", gateway.TenantQuota{}, fmt.Errorf("quota %q: bad concurrent %q", spec, parts[2])
+		}
+	}
+	return name, q, nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8357", "listen address")
+	shards := flag.Int("shards", 2, "number of in-process serving shards")
+	spill := flag.Int("spill", 1, "alternate shards to try when the home shard is overloaded (negative: none)")
+	vnodes := flag.Int("vnodes", 64, "virtual nodes per shard on the consistent-hash ring")
+	seed := flag.Uint64("seed", 0, "ring placement seed")
+	workers := flag.Int("workers", 0, "worker pool size per shard (0: GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue depth per shard")
+	timeout := flag.Duration("timeout", 0, "default per-query deadline (0: none)")
+	planEntries := flag.Int("plan-cache", 128, "compiled-plan cache entries per shard (negative: disabled)")
+	interBudget := flag.Int64("inter-budget", 4<<30, "intermediate cache budget per shard in modelled bytes (negative: disabled)")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "MQO batching window per shard (0: disabled)")
+	recoveryFlag := flag.String("recovery", "", "default recovery policy: lineage, checkpoint, coded or coded:k,n")
+	auditDepth := flag.Int("audit-depth", 1024, "audit queue depth (negative: audit plane disabled)")
+	auditTail := flag.Int("audit-tail", 256, "audit events kept for GET /audit")
+	quotas := map[string]gateway.TenantQuota{}
+	flag.Func("quota", "per-tenant quota tenant=qps[:burst[:concurrent]] (repeatable)", func(spec string) error {
+		name, q, err := parseQuota(spec)
+		if err != nil {
+			return err
+		}
+		quotas[name] = q
+		return nil
+	})
+	defaultQuota := flag.String("default-quota", "", "quota for tenants without a -quota entry: qps[:burst[:concurrent]] (empty: unlimited)")
+	flag.Parse()
+
+	recovery, err := engine.ParseRecovery(*recoveryFlag)
+	if err != nil {
+		log.Fatalf("-recovery: %v", err)
+	}
+	var def gateway.TenantQuota
+	if *defaultQuota != "" {
+		if _, def, err = parseQuota("default=" + *defaultQuota); err != nil {
+			log.Fatalf("-default-quota: %v", err)
+		}
+	}
+
+	gw := gateway.New(gateway.Config{
+		Shards:       *shards,
+		VirtualNodes: *vnodes,
+		Seed:         *seed,
+		SpillOver:    *spill,
+		Quotas:       quotas,
+		DefaultQuota: def,
+		AuditDepth:   *auditDepth,
+		AuditTail:    *auditTail,
+		Serve: serve.Config{
+			Workers:                 *workers,
+			QueueDepth:              *queue,
+			DefaultTimeout:          *timeout,
+			PlanCacheEntries:        *planEntries,
+			IntermediateBudgetBytes: *interBudget,
+			BatchWindow:             *batchWindow,
+		},
+	})
+	h := &handler{gw: gw, builder: httpapi.NewQueryBuilder(recovery)}
+	httpSrv := &http.Server{Addr: *addr, Handler: newMux(h)}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("remac-gateway listening on %s (%d shards)", *addr, gw.Shards())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("received %v; draining", sig)
+	case err := <-errc:
+		log.Fatalf("listen: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := gw.Shutdown(ctx); err != nil {
+		log.Printf("gateway shutdown: %v", err)
+	}
+	log.Print("drained; exiting")
+}

@@ -22,14 +22,20 @@
 //	GET  /readyz  readiness probe: 200 when admitting, 503 (+Retry-After)
 //	              while draining, breaker-open, or queue-saturated.
 //	POST /invalidate?dataset=cri2  bump a dataset version, dropping its
-//	              cached intermediates.
+//	              cached intermediates. Non-POST methods get 405; a missing
+//	              or blank dataset parameter gets 400.
+//
+// Every response echoes an X-Request-ID header — the client's, or a
+// generated one — and failed queries carry it in their JSON bodies too, so
+// a request can be correlated across a gateway tier, this server and the
+// audit plane.
 //
 // Query failures map to distinct statuses by resilience class: 400 for
 // compile errors, 422 for divergent loops (max iterations), 503 with a
 // Retry-After header for overload/shed/draining, 504 for canceled or
 // timed-out queries, and 500 only for execution failures and recovered
 // panics. Error bodies are structured JSON ({"error", "class", "query_id",
-// "stage", "retry_after_sec"}).
+// "stage", "retry_after_sec", "request_id"}).
 //
 // SIGINT/SIGTERM stop admission, drain in-flight queries, then exit.
 package main
@@ -37,291 +43,65 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
-	"sync"
+	"strings"
 	"syscall"
 	"time"
 
-	"remac/internal/algorithms"
-	"remac/internal/data"
 	"remac/internal/engine"
-	"remac/internal/opt"
+	"remac/internal/httpapi"
 	"remac/internal/resilience"
 	"remac/internal/serve"
 )
 
-// queryRequest is the POST /query body.
-type queryRequest struct {
-	Algorithm  string `json:"algorithm,omitempty"`
-	Script     string `json:"script,omitempty"`
-	Dataset    string `json:"dataset"`
-	Iterations int    `json:"iterations,omitempty"`
-	Strategy   string `json:"strategy,omitempty"`
-	TimeoutMS  int    `json:"timeout_ms,omitempty"`
-	// MaxIterations caps loop iterations; a program still running at the
-	// cap fails with 422 (max-iterations class).
-	MaxIterations int `json:"max_iterations,omitempty"`
-	// Recovery selects the recovery policy for this query: "lineage",
-	// "checkpoint", "coded" or "coded:k,n". Empty uses the server's
-	// -recovery default.
-	Recovery string `json:"recovery,omitempty"`
-
-	NoPlanCache         bool `json:"no_plan_cache,omitempty"`
-	NoIntermediateCache bool `json:"no_intermediate_cache,omitempty"`
-}
-
-// valueSummary reports a result variable without shipping its cells.
-type valueSummary struct {
-	Rows      int     `json:"rows"`
-	Cols      int     `json:"cols"`
-	Frobenius float64 `json:"frobenius_norm"`
-}
-
-// queryResponse is the POST /query reply.
-type queryResponse struct {
-	Values           map[string]valueSummary `json:"values"`
-	Iterations       int                     `json:"iterations"`
-	SimulatedSec     float64                 `json:"simulated_sec"`
-	ComputeSec       float64                 `json:"compute_sec"`
-	TransmitSec      float64                 `json:"transmit_sec"`
-	CompileSec       float64                 `json:"compile_sec"`
-	WallSec          float64                 `json:"wall_sec"`
-	PlanCacheHit     bool                    `json:"plan_cache_hit"`
-	IntermediateHits int                     `json:"intermediate_hits"`
-	IntermediateMiss int                     `json:"intermediate_misses"`
-	SharedHits       int                     `json:"shared_hits,omitempty"`
-	SharedProduced   int                     `json:"shared_produced,omitempty"`
-	CodedRecoveries  int                     `json:"coded_recoveries,omitempty"`
-	DecodeSec        float64                 `json:"decode_sec,omitempty"`
-	EncodeFLOP       float64                 `json:"encode_flop,omitempty"`
-	SelectedKeys     []string                `json:"selected_keys,omitempty"`
-}
-
-func parseStrategy(s string) (opt.Strategy, error) {
-	switch s {
-	case "", "adaptive":
-		return opt.Adaptive, nil
-	case "none", "no-elimination":
-		return opt.NoElimination, nil
-	case "explicit":
-		return opt.Explicit, nil
-	case "conservative":
-		return opt.Conservative, nil
-	case "aggressive":
-		return opt.Aggressive, nil
-	case "automatic":
-		return opt.Automatic, nil
-	default:
-		return 0, fmt.Errorf("unknown strategy %q", s)
-	}
-}
-
-// handler adapts the in-process serve API to HTTP. Dataset inputs are
-// generated once and shared read-only across queries.
+// handler adapts the in-process serve API to HTTP.
 type handler struct {
-	srv *serve.Server
-	// recovery is the server-wide default recovery policy (-recovery),
-	// applied to queries that do not carry their own.
-	recovery engine.RecoveryPolicy
-
-	mu   sync.Mutex
-	data map[string]*data.Dataset
-}
-
-func (h *handler) dataset(name string) (*data.Dataset, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if d, ok := h.data[name]; ok {
-		return d, nil
-	}
-	d, err := data.Load(name)
-	if err != nil {
-		return nil, err
-	}
-	h.data[name] = d
-	return d, nil
-}
-
-// buildQuery resolves a request into a serve.Query with the dataset's
-// inputs bound.
-func (h *handler) buildQuery(req queryRequest) (serve.Query, error) {
-	var q serve.Query
-	if (req.Algorithm == "") == (req.Script == "") {
-		return q, errors.New("exactly one of algorithm or script is required")
-	}
-	if req.Dataset == "" {
-		return q, errors.New("dataset is required")
-	}
-	ds, err := h.dataset(req.Dataset)
-	if err != nil {
-		return q, err
-	}
-	iters := req.Iterations
-	alg := algorithms.Name(req.Algorithm)
-	script := req.Script
-	if req.Algorithm != "" {
-		if iters == 0 {
-			iters = algorithms.DefaultIterations(alg)
-		}
-		script, err = algorithms.Script(alg, iters)
-		if err != nil {
-			return q, err
-		}
-	} else if iters == 0 {
-		iters = 15
-	}
-	ins := map[string]engine.Input{}
-	if alg == algorithms.GNMF {
-		w, wh := ds.GNMFFactors(10)
-		ins["V"] = engine.Input{Data: ds.A, VRows: ds.VRows, VCols: ds.VCols}
-		ins["W0"] = engine.Input{Data: w, VRows: ds.VRows, VCols: 10}
-		ins["H0"] = engine.Input{Data: wh, VRows: 10, VCols: ds.VCols}
-	} else {
-		ins["A"] = engine.Input{Data: ds.A, VRows: ds.VRows, VCols: ds.VCols}
-		ins["b"] = engine.Input{Data: ds.Label(), VRows: ds.VRows, VCols: 1}
-		ins["H0"] = engine.Input{Data: ds.InitialH(), VRows: ds.VCols, VCols: ds.VCols}
-		ins["x0"] = engine.Input{Data: ds.InitialX(), VRows: ds.VCols, VCols: 1}
-	}
-	q = serve.NewQuery(script, ins)
-	q.Dataset = req.Dataset
-	q.Iterations = iters
-	q.Strategy, err = parseStrategy(req.Strategy)
-	if err != nil {
-		return q, err
-	}
-	q.Timeout = time.Duration(req.TimeoutMS) * time.Millisecond
-	q.MaxIterations = req.MaxIterations
-	q.Recovery = h.recovery
-	if req.Recovery != "" {
-		q.Recovery, err = engine.ParseRecovery(req.Recovery)
-		if err != nil {
-			return q, err
-		}
-	}
-	q.NoPlanCache = req.NoPlanCache
-	q.NoIntermediateCache = req.NoIntermediateCache
-	return q, nil
+	srv     *serve.Server
+	builder *httpapi.QueryBuilder
 }
 
 func (h *handler) query(w http.ResponseWriter, r *http.Request) {
+	rid := httpapi.RequestID(r)
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	var req queryRequest
+	var req httpapi.QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		httpapi.WriteError(w, rid, &resilience.QueryError{Class: resilience.Compile, Stage: "request", Err: err})
 		return
 	}
-	q, err := h.buildQuery(req)
+	q, err := h.builder.Build(req)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		httpapi.WriteError(w, rid, &resilience.QueryError{Class: resilience.Compile, Stage: "request", Err: err})
 		return
 	}
 	res, err := h.srv.Do(r.Context(), q)
 	if err != nil {
-		writeError(w, err)
+		httpapi.WriteError(w, rid, err)
 		return
 	}
-	resp := queryResponse{
-		Values:           map[string]valueSummary{},
-		Iterations:       res.Iterations,
-		SimulatedSec:     res.SimulatedSec,
-		ComputeSec:       res.ComputeSec,
-		TransmitSec:      res.TransmitSec,
-		CompileSec:       res.CompileSec,
-		WallSec:          res.WallSec,
-		PlanCacheHit:     res.PlanCacheHit,
-		IntermediateHits: res.IntermediateHits,
-		IntermediateMiss: res.IntermediateMisses,
-		SharedHits:       res.SharedHits,
-		SharedProduced:   res.SharedProduced,
-		CodedRecoveries:  res.CodedRecoveries,
-		DecodeSec:        res.DecodeSec,
-		EncodeFLOP:       res.EncodeFLOP,
-		SelectedKeys:     res.SelectedKeys,
-	}
-	for name, m := range res.Values {
-		resp.Values[name] = valueSummary{Rows: m.Rows(), Cols: m.Cols(), Frobenius: m.FrobeniusNorm()}
-	}
-	writeJSON(w, resp)
-}
-
-// errorResponse is the structured JSON body of a failed query.
-type errorResponse struct {
-	Error         string  `json:"error"`
-	Class         string  `json:"class,omitempty"`
-	QueryID       uint64  `json:"query_id,omitempty"`
-	Stage         string  `json:"stage,omitempty"`
-	RetryAfterSec float64 `json:"retry_after_sec,omitempty"`
-}
-
-// writeError maps a serving failure to its HTTP status via the resilience
-// taxonomy: 400 compile, 422 max-iterations, 503 overload/closed (with
-// Retry-After), 504 canceled, 500 execution/internal.
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	body := errorResponse{Error: err.Error()}
-	retryAfter := time.Duration(0)
-	var qe *resilience.QueryError
-	switch {
-	case errors.As(err, &qe):
-		status = qe.Class.HTTPStatus()
-		body.Class = qe.Class.String()
-		body.QueryID = qe.QueryID
-		body.Stage = qe.Stage
-		retryAfter = qe.RetryAfter
-		if qe.Class == resilience.Overloaded && retryAfter <= 0 {
-			retryAfter = time.Second
-		}
-	case errors.Is(err, serve.ErrClosed):
-		// Draining: tell clients to find another instance shortly.
-		status = http.StatusServiceUnavailable
-		body.Class = "closed"
-		retryAfter = time.Second
-	case errors.Is(err, serve.ErrOverloaded):
-		status = http.StatusServiceUnavailable
-		body.Class = resilience.Overloaded.String()
-		retryAfter = time.Second
-	case errors.Is(err, engine.ErrCanceled):
-		status = http.StatusGatewayTimeout
-		body.Class = resilience.Canceled.String()
-	case errors.Is(err, engine.ErrMaxIterations):
-		status = http.StatusUnprocessableEntity
-		body.Class = resilience.MaxIterations.String()
-	}
-	if retryAfter > 0 {
-		secs := int(retryAfter.Seconds())
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
-		body.RetryAfterSec = retryAfter.Seconds()
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(body); err != nil {
-		log.Printf("encode error response: %v", err)
-	}
+	resp := httpapi.BuildResponse(res)
+	resp.RequestID = rid
+	httpapi.WriteJSON(w, rid, resp)
 }
 
 func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	rid := httpapi.RequestID(r)
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
-	writeJSON(w, h.srv.Healthz())
+	httpapi.WriteJSON(w, rid, h.srv.Healthz())
 }
 
 func (h *handler) readyz(w http.ResponseWriter, r *http.Request) {
+	rid := httpapi.RequestID(r)
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
@@ -335,6 +115,7 @@ func (h *handler) readyz(w http.ResponseWriter, r *http.Request) {
 			}
 			w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 		}
+		w.Header().Set(httpapi.RequestIDHeader, rid)
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		enc := json.NewEncoder(w)
@@ -344,38 +125,44 @@ func (h *handler) readyz(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	writeJSON(w, hz)
+	httpapi.WriteJSON(w, rid, hz)
 }
 
 func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
+	rid := httpapi.RequestID(r)
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
-	writeJSON(w, h.srv.Metrics())
+	httpapi.WriteJSON(w, rid, h.srv.Metrics())
 }
 
 func (h *handler) invalidate(w http.ResponseWriter, r *http.Request) {
+	rid := httpapi.RequestID(r)
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	ds := r.URL.Query().Get("dataset")
+	ds := strings.TrimSpace(r.URL.Query().Get("dataset"))
 	if ds == "" {
-		http.Error(w, "dataset parameter required", http.StatusBadRequest)
+		httpapi.WriteError(w, rid, &resilience.QueryError{
+			Class: resilience.Compile, Stage: "request", Err: fmt.Errorf("dataset parameter required"),
+		})
 		return
 	}
 	h.srv.InvalidateDataset(ds)
-	writeJSON(w, map[string]any{"dataset": ds, "version": h.srv.DatasetVersion(ds)})
+	httpapi.WriteJSON(w, rid, map[string]any{"dataset": ds, "version": h.srv.DatasetVersion(ds)})
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		log.Printf("encode response: %v", err)
-	}
+// newMux wires the handler's routes (shared with the tests).
+func newMux(h *handler) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", h.query)
+	mux.HandleFunc("/stats", h.stats)
+	mux.HandleFunc("/healthz", h.healthz)
+	mux.HandleFunc("/readyz", h.readyz)
+	mux.HandleFunc("/invalidate", h.invalidate)
+	return mux
 }
 
 func main() {
@@ -390,6 +177,7 @@ func main() {
 	hedge := flag.Bool("hedge", false, "hedge straggler queries past the p95 latency")
 	noBreaker := flag.Bool("no-breaker", false, "disable the admission circuit breaker / load shedder")
 	recoveryFlag := flag.String("recovery", "", "default recovery policy for queries that do not set one: lineage, checkpoint, coded or coded:k,n")
+	shard := flag.String("shard", "", "shard label for this instance in metrics snapshots (set by a gateway tier)")
 	flag.Parse()
 
 	recovery, err := engine.ParseRecovery(*recoveryFlag)
@@ -407,15 +195,10 @@ func main() {
 		Retry:                   resilience.RetryPolicy{MaxAttempts: *retries},
 		Hedge:                   resilience.HedgePolicy{Enabled: *hedge},
 		NoBreaker:               *noBreaker,
+		ShardID:                 *shard,
 	})
-	h := &handler{srv: srv, recovery: recovery, data: map[string]*data.Dataset{}}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/query", h.query)
-	mux.HandleFunc("/stats", h.stats)
-	mux.HandleFunc("/healthz", h.healthz)
-	mux.HandleFunc("/readyz", h.readyz)
-	mux.HandleFunc("/invalidate", h.invalidate)
-	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	h := &handler{srv: srv, builder: httpapi.NewQueryBuilder(recovery)}
+	httpSrv := &http.Server{Addr: *addr, Handler: newMux(h)}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"remac/internal/engine"
+	"remac/internal/httpapi"
+	"remac/internal/serve"
+)
+
+func testHandler(t *testing.T) (*handler, *http.ServeMux) {
+	t.Helper()
+	srv := serve.New(serve.Config{Workers: 2})
+	t.Cleanup(func() { srv.Shutdown(context.Background()) })
+	h := &handler{srv: srv, builder: httpapi.NewQueryBuilder(engine.RecoveryPolicy{})}
+	return h, newMux(h)
+}
+
+// TestInvalidateRejectsNonPOST: GET/PUT/DELETE on /invalidate are 405.
+func TestInvalidateRejectsNonPOST(t *testing.T) {
+	_, mux := testHandler(t)
+	for _, method := range []string{http.MethodGet, http.MethodPut, http.MethodDelete} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(method, "/invalidate?dataset=cri1", nil))
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s /invalidate = %d, want 405", method, rec.Code)
+		}
+	}
+}
+
+// TestInvalidateRejectsMissingDataset: POST without a dataset — absent,
+// empty, or whitespace — is 400 with a structured JSON body carrying the
+// request id; nothing is invalidated.
+func TestInvalidateRejectsMissingDataset(t *testing.T) {
+	h, mux := testHandler(t)
+	for _, target := range []string{"/invalidate", "/invalidate?dataset=", "/invalidate?dataset=%20%20"} {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, target, nil)
+		req.Header.Set(httpapi.RequestIDHeader, "rid-inv")
+		mux.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("POST %s = %d, want 400", target, rec.Code)
+			continue
+		}
+		var body httpapi.ErrorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("POST %s: error body is not JSON: %v", target, err)
+		}
+		if body.RequestID != "rid-inv" || body.Error == "" {
+			t.Errorf("POST %s: error body %+v lacks request id or message", target, body)
+		}
+	}
+	if v := h.srv.DatasetVersion(""); v != 0 {
+		t.Fatalf("rejected invalidation still bumped a version: %d", v)
+	}
+}
+
+// TestInvalidateBumpsVersion: a valid POST bumps the dataset version
+// (whitespace around the name is trimmed) and reports it.
+func TestInvalidateBumpsVersion(t *testing.T) {
+	h, mux := testHandler(t)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/invalidate?dataset=%20cri1%20", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /invalidate = %d, want 200: %s", rec.Code, rec.Body)
+	}
+	var body struct {
+		Dataset string `json:"dataset"`
+		Version int64  `json:"version"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Dataset != "cri1" || body.Version != 1 {
+		t.Fatalf("invalidate reply = %+v, want cri1 at version 1", body)
+	}
+	if v := h.srv.DatasetVersion("cri1"); v != 1 {
+		t.Fatalf("server version = %d, want 1", v)
+	}
+}
+
+// TestRequestIDPropagation: a client-sent X-Request-ID is echoed on the
+// response header and inside error bodies; absent one, the server
+// generates an id and still echoes it.
+func TestRequestIDPropagation(t *testing.T) {
+	_, mux := testHandler(t)
+
+	// Bad query (unknown dataset): the error body carries the client's id.
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/query",
+		strings.NewReader(`{"algorithm":"DFP","dataset":"no-such-dataset"}`))
+	req.Header.Set(httpapi.RequestIDHeader, "client-id-7")
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad-dataset query = %d, want 400", rec.Code)
+	}
+	if got := rec.Header().Get(httpapi.RequestIDHeader); got != "client-id-7" {
+		t.Fatalf("response header id = %q, want the client's", got)
+	}
+	var body httpapi.ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.RequestID != "client-id-7" {
+		t.Fatalf("error body request_id = %q, want client-id-7", body.RequestID)
+	}
+
+	// No client id: one is generated, echoed on the header and in the
+	// success body.
+	rec = httptest.NewRecorder()
+	req = httptest.NewRequest(http.MethodPost, "/query",
+		strings.NewReader(`{"algorithm":"DFP","dataset":"cri1","iterations":2}`))
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query = %d, want 200: %s", rec.Code, rec.Body)
+	}
+	gen := rec.Header().Get(httpapi.RequestIDHeader)
+	if gen == "" {
+		t.Fatal("no generated request id on the response header")
+	}
+	var qr httpapi.QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.RequestID != gen {
+		t.Fatalf("body request_id %q != header id %q", qr.RequestID, gen)
+	}
+
+	// /stats echoes too.
+	rec = httptest.NewRecorder()
+	req = httptest.NewRequest(http.MethodGet, "/stats", nil)
+	req.Header.Set(httpapi.RequestIDHeader, "stats-id")
+	mux.ServeHTTP(rec, req)
+	if got := rec.Header().Get(httpapi.RequestIDHeader); got != "stats-id" {
+		t.Fatalf("/stats header id = %q, want stats-id", got)
+	}
+}

@@ -1,0 +1,276 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"remac/internal/algorithms"
+	"remac/internal/gateway"
+	"remac/internal/resilience"
+	"remac/internal/serve"
+)
+
+// shardWorkload is the overlapping stream the shard experiment replays:
+// two solvers over one dataset plus the GNMF stress case, so affinity
+// routing has real cross-query locality to preserve (DFP and GD on cri1
+// share loop-constant intermediates under one cache namespace).
+var shardWorkload = []serveCase{
+	{algorithms.DFP, "cri1", 3},
+	{algorithms.GD, "cri1", 3},
+	{algorithms.GNMF, "red2", 3},
+}
+
+// shardRepeats is how many times each workload entry replays per arm.
+const shardRepeats = 12
+
+// shardTenant skews the replayed traffic across tenants (half the stream
+// from one heavy tenant, a long tail behind it) so the per-tenant stats
+// and audit plane see a realistic mix. Deterministic in the query index.
+func shardTenant(k int) string {
+	switch k % 8 {
+	case 0, 1, 2, 3:
+		return "tenant-a"
+	case 4, 5:
+		return "tenant-b"
+	case 6:
+		return "tenant-c"
+	default:
+		return "tenant-d"
+	}
+}
+
+// shardArm replays the workload through a gateway with n shards and
+// returns the gateway stats plus per-workload result hashes.
+func shardArm(shards int, random bool, seed uint64) (gateway.Stats, map[int]uint64, error) {
+	gw := gateway.New(gateway.Config{
+		Shards:      shards,
+		Seed:        seed,
+		RouteRandom: random,
+		Serve:       serve.Config{Workers: 4, QueueDepth: 64},
+	})
+	hashes := map[int]uint64{}
+	total := shardRepeats * len(shardWorkload)
+	for k := 0; k < total; k++ {
+		wi := k % len(shardWorkload)
+		q, err := serveQuery(shardWorkload[wi])
+		if err != nil {
+			return gateway.Stats{}, nil, err
+		}
+		res, err := gw.Do(context.Background(), gateway.Request{Tenant: shardTenant(k), Query: q})
+		if err != nil {
+			return gateway.Stats{}, nil, fmt.Errorf("shard arm (%d shards): query %d: %w", shards, k, err)
+		}
+		hh := resultHash(res.QueryResult)
+		if ref, ok := hashes[wi]; !ok {
+			hashes[wi] = hh
+		} else if ref != hh {
+			return gateway.Stats{}, nil, fmt.Errorf("shard arm (%d shards): workload %d result differs bitwise between repeats", shards, wi)
+		}
+	}
+
+	// Invalidation gate: an acknowledged fan-out must leave every shard at
+	// the broadcast version before it returns.
+	v := gw.InvalidateDataset("cri1")
+	for i, sv := range gw.ShardVersions("cri1") {
+		if sv != v {
+			return gateway.Stats{}, nil, fmt.Errorf("shard arm (%d shards): shard %d at version %d after fan-out returned, want %d", shards, i, sv, v)
+		}
+	}
+
+	st := gw.Stats()
+	if err := gw.Shutdown(context.Background()); err != nil {
+		return gateway.Stats{}, nil, err
+	}
+	return st, hashes, nil
+}
+
+// shardQuotaArm replays the victim tenants' stream — optionally alongside
+// a quota-capped noisy tenant hammering the tier — and returns the stats.
+func shardQuotaArm(noisy bool) (gateway.Stats, error) {
+	cfg := gateway.Config{
+		Shards: 2,
+		Seed:   17,
+		Serve:  serve.Config{Workers: 4, QueueDepth: 64},
+	}
+	if noisy {
+		// The noisy tenant gets a near-zero rate and one slot: almost every
+		// submission is a typed 429 before it can touch a shard.
+		cfg.Quotas = map[string]gateway.TenantQuota{
+			"noisy": {QPS: 0.5, Burst: 1, MaxConcurrent: 1},
+		}
+	}
+	gw := gateway.New(cfg)
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	// Two victim tenants replay the stream sequentially (their latencies
+	// are the protected signal).
+	for _, victim := range []string{"victim-1", "victim-2"} {
+		wg.Add(1)
+		go func(tenant string) {
+			defer wg.Done()
+			for k := 0; k < 2*len(shardWorkload); k++ {
+				q, err := serveQuery(shardWorkload[k%len(shardWorkload)])
+				if err != nil {
+					errc <- err
+					return
+				}
+				if _, err := gw.Do(context.Background(), gateway.Request{Tenant: tenant, Query: q}); err != nil {
+					errc <- fmt.Errorf("victim %s: %w", tenant, err)
+					return
+				}
+			}
+		}(victim)
+	}
+	if noisy {
+		// The noisy tenant fires a concurrent burst; the quota sheds it.
+		for i := 0; i < 16; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				q, err := serveQuery(shardWorkload[0])
+				if err != nil {
+					errc <- err
+					return
+				}
+				_, err = gw.Do(context.Background(), gateway.Request{Tenant: "noisy", Query: q})
+				if err != nil && !resilience.IsClass(err, resilience.Quota) {
+					errc <- fmt.Errorf("noisy tenant: unexpected non-quota failure: %w", err)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		return gateway.Stats{}, err
+	}
+	st := gw.Stats()
+	if err := gw.Shutdown(context.Background()); err != nil {
+		return gateway.Stats{}, err
+	}
+	return st, nil
+}
+
+// victimP95 is the worst victim tenant p95 in an arm.
+func victimP95(st gateway.Stats) float64 {
+	p := 0.0
+	for _, tenant := range []string{"victim-1", "victim-2"} {
+		if ts, ok := st.Tenants[tenant]; ok && ts.LatencyP95Sec > p {
+			p = ts.LatencyP95Sec
+		}
+	}
+	return p
+}
+
+// ShardBench measures the sharded serving tier: the overlapping stream
+// replayed through 1, 2 and 4 affinity-routed shards and a 4-shard
+// random-routing control, plus a noisy-neighbor pair of arms under tenant
+// quotas. The experiment fails unless (1) every arm's results are bitwise
+// identical to the single-instance reference, (2) affinity routing at 4
+// shards sustains a strictly higher intermediate-cache hit rate than
+// random routing, (3) the quota-capped noisy tenant receives typed 429s
+// while the victims' p95 stays within 2x of the no-noisy-neighbor run,
+// and (4) every invalidation fan-out leaves all shards at the broadcast
+// version before returning.
+func ShardBench() (*Table, error) {
+	t := &Table{
+		ID:      "Shard",
+		Title:   "Sharded serving tier: affinity vs random routing, tenant quotas under a noisy neighbor",
+		Columns: []string{"shards", "queries", "quota 429s", "GFLOP", "plan hit%", "inter hit%", "p95(ms)"},
+	}
+
+	type routeArm struct {
+		label  string
+		shards int
+		random bool
+	}
+	arms := []routeArm{
+		{"single", 1, false},
+		{"affinity-2", 2, false},
+		{"affinity-4", 4, false},
+		{"random-4", 4, true},
+	}
+	var refHashes map[int]uint64
+	hitRate := map[string]float64{}
+	for _, arm := range arms {
+		st, hashes, err := shardArm(arm.shards, arm.random, 17)
+		if err != nil {
+			return nil, err
+		}
+		if refHashes == nil {
+			refHashes = hashes
+		} else {
+			for wi, ref := range refHashes {
+				if hashes[wi] != ref {
+					return nil, fmt.Errorf("shard: arm %s workload %d differs bitwise from the single-instance reference", arm.label, wi)
+				}
+			}
+		}
+		hitRate[arm.label] = st.Merged.InterHitRate
+		t.Rows = append(t.Rows, Row{
+			Label: arm.label,
+			Values: map[string]float64{
+				"shards":     float64(arm.shards),
+				"queries":    float64(st.Routed),
+				"quota 429s": 0,
+				"GFLOP":      st.Tenants["tenant-a"].FLOP/1e9 + st.Tenants["tenant-b"].FLOP/1e9 + st.Tenants["tenant-c"].FLOP/1e9 + st.Tenants["tenant-d"].FLOP/1e9,
+				"plan hit%":  100 * st.Merged.PlanHitRate,
+				"inter hit%": 100 * st.Merged.InterHitRate,
+				"p95(ms)":    st.Merged.LatencyP95Sec * 1e3,
+			},
+		})
+	}
+	if hitRate["affinity-4"] <= hitRate["random-4"] {
+		return nil, fmt.Errorf("shard: affinity routing at 4 shards hit %.1f%% of intermediate lookups, not strictly above random routing's %.1f%%",
+			100*hitRate["affinity-4"], 100*hitRate["random-4"])
+	}
+
+	baseline, err := shardQuotaArm(false)
+	if err != nil {
+		return nil, err
+	}
+	noisyArm, err := shardQuotaArm(true)
+	if err != nil {
+		return nil, err
+	}
+	if noisyArm.QuotaRejected == 0 {
+		return nil, fmt.Errorf("shard: the quota-capped noisy tenant was never rejected")
+	}
+	if ts := noisyArm.Tenants["noisy"]; ts.QuotaRejected == 0 {
+		return nil, fmt.Errorf("shard: noisy tenant stats show no typed 429s: %+v", ts)
+	}
+	baseP95, noisyP95 := victimP95(baseline), victimP95(noisyArm)
+	if baseP95 > 0 && noisyP95 > 2*baseP95 {
+		return nil, fmt.Errorf("shard: victim p95 %.1fms under the quota-capped noisy neighbor, above 2x the %.1fms baseline",
+			noisyP95*1e3, baseP95*1e3)
+	}
+	for _, qa := range []struct {
+		label string
+		st    gateway.Stats
+	}{{"victims-only", baseline}, {"noisy+quota", noisyArm}} {
+		label, st := qa.label, qa.st
+		t.Rows = append(t.Rows, Row{
+			Label: label,
+			Values: map[string]float64{
+				"shards":     2,
+				"queries":    float64(st.Routed),
+				"quota 429s": float64(st.QuotaRejected),
+				"GFLOP":      st.Tenants["victim-1"].FLOP/1e9 + st.Tenants["victim-2"].FLOP/1e9,
+				"plan hit%":  100 * st.Merged.PlanHitRate,
+				"inter hit%": 100 * st.Merged.InterHitRate,
+				"p95(ms)":    victimP95(st) * 1e3,
+			},
+		})
+	}
+
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("per-workload results bitwise identical across all %d routing arms (FNV-64a over value bits)", len(arms)),
+		fmt.Sprintf("affinity keeps each dataset's stream on one shard: %.1f%% intermediate hits at 4 shards vs %.1f%% under random routing",
+			100*hitRate["affinity-4"], 100*hitRate["random-4"]),
+		fmt.Sprintf("noisy neighbor: %d typed 429s for the capped tenant; victim p95 %.1fms vs %.1fms without it",
+			noisyArm.Tenants["noisy"].QuotaRejected, noisyP95*1e3, baseP95*1e3),
+		"every arm's invalidation fan-out left all shards at the broadcast version before returning")
+	return t, nil
+}

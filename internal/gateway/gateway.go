@@ -1,0 +1,496 @@
+// Package gateway is the sharded multi-node serving tier: a front-end
+// that routes queries across several serve.Server instances with
+// dataset-affine consistent-hash placement (so plan/intermediate/MQO
+// cache locality survives scale-out), layers per-tenant admission quotas
+// above each shard's circuit breaker, fans dataset invalidations out to
+// every shard with an acknowledged ordered broadcast, and records every
+// query on an audit plane (who ran what, where, at what cost).
+//
+// Shards are in-process serve.Server instances behind the Instance
+// interface, so tests and benches stay hermetic while cmd/remac-gateway
+// exposes the same tier over HTTP. Routing is deterministic: the ring's
+// seeded placement plus ordered spill-over means any two gateways with
+// the same configuration route a key identically.
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"remac/internal/lang"
+	"remac/internal/resilience"
+	"remac/internal/serve"
+)
+
+// Instance is one serving shard as the gateway sees it. *serve.Server
+// implements it; tests substitute fakes.
+type Instance interface {
+	Do(ctx context.Context, q serve.Query) (*serve.QueryResult, error)
+	InvalidateDataset(id string)
+	DatasetVersion(id string) int64
+	Metrics() serve.Snapshot
+	Healthz() serve.Health
+	Readyz() serve.Health
+	Shutdown(ctx context.Context) error
+}
+
+var _ Instance = (*serve.Server)(nil)
+
+// Config parameterizes a Gateway. The zero value of every optional field
+// picks a sensible default.
+type Config struct {
+	// Shards is the number of in-process serve.Server instances to run
+	// (ignored by NewWithInstances). Default 2.
+	Shards int
+	// Serve configures each spawned shard; ShardID is overwritten per
+	// shard ("shard-0", "shard-1", …).
+	Serve serve.Config
+	// VirtualNodes per shard on the consistent-hash ring. Default 64.
+	VirtualNodes int
+	// Seed perturbs ring placement (any fixed value is deterministic).
+	Seed uint64
+	// SpillOver bounds how many alternate shards a query may try after its
+	// home shard rejects it with an Overloaded-class error (breaker open
+	// or queue saturated). 0 disables spill-over; default 1. The ring's
+	// preference order makes the alternates deterministic.
+	SpillOver int
+	// RouteRandom replaces affinity routing with seeded pseudo-random
+	// shard choice. It exists for the shard bench's control arm — random
+	// routing destroys cache locality by construction — and for A/B
+	// measurements; production configurations want affinity.
+	RouteRandom bool
+
+	// Quotas maps tenant name to its admission quota; tenants not listed
+	// get DefaultQuota. A zero quota is unlimited.
+	Quotas map[string]TenantQuota
+	// DefaultQuota applies to tenants without an explicit entry.
+	DefaultQuota TenantQuota
+
+	// AuditDepth bounds the audit queue (default 1024); a full queue drops
+	// events (counted) rather than blocking the serving path. Negative
+	// disables the audit plane entirely.
+	AuditDepth int
+	// AuditTail bounds the in-memory event tail served by Audit (default
+	// 256).
+	AuditTail int
+	// AuditSink, when non-nil, additionally receives every event from the
+	// single writer goroutine (a JSONL file, a test recorder, …).
+	AuditSink Sink
+
+	// Clock is injectable for tests (quota refill and audit timestamps).
+	Clock func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = 2
+	}
+	if c.VirtualNodes == 0 {
+		c.VirtualNodes = 64
+	}
+	if c.SpillOver == 0 {
+		c.SpillOver = 1
+	}
+	if c.SpillOver < 0 {
+		c.SpillOver = 0
+	}
+	if c.AuditDepth == 0 {
+		c.AuditDepth = 1024
+	}
+	if c.AuditTail <= 0 {
+		c.AuditTail = 256
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// Request is one query submission through the gateway.
+type Request struct {
+	// Tenant identifies the submitting tenant for quotas, audit and
+	// per-tenant stats; empty maps to "anonymous".
+	Tenant string
+	// RequestID correlates this request across the gateway, the shard and
+	// the audit plane; empty generates one. It is echoed on the Result and
+	// inside error bodies by the HTTP front-ends.
+	RequestID string
+	// Query is the underlying serving query. Query.Dataset is also the
+	// routing key (with the gateway's dataset version appended).
+	Query serve.Query
+}
+
+// Result is a gateway-served query result: the shard outcome plus routing
+// metadata.
+type Result struct {
+	*serve.QueryResult
+	// Shard is the index of the instance that served the query; ShardID
+	// its metrics label.
+	Shard   int
+	ShardID string
+	// Spilled marks a query served off its home shard because the home
+	// rejected it as overloaded.
+	Spilled bool
+	// RequestID is the propagated (or generated) request id.
+	RequestID string
+}
+
+// Gateway routes queries across shards. Create with New (spawns
+// in-process serve.Servers) or NewWithInstances (caller-provided shards),
+// submit with Do, stop with Shutdown.
+type Gateway struct {
+	cfg    Config
+	shards []Instance
+	ids    []string
+	ring   *ring
+	quotas *quotas
+	audit  *auditor
+
+	routeSeq atomic.Uint64 // RouteRandom stream position
+
+	invMu    sync.Mutex // serializes invalidation broadcasts
+	verMu    sync.Mutex
+	versions map[string]int64
+
+	routed      atomic.Uint64
+	spilled     atomic.Uint64
+	quotaRej    atomic.Uint64
+	overloadRej atomic.Uint64
+	invals      atomic.Uint64
+
+	tenantMu sync.Mutex
+	tenants  map[string]*tenantStats
+}
+
+// New builds a gateway running cfg.Shards in-process serve.Server shards.
+func New(cfg Config) *Gateway {
+	cfg = cfg.withDefaults()
+	shards := make([]Instance, cfg.Shards)
+	ids := make([]string, cfg.Shards)
+	for i := range shards {
+		scfg := cfg.Serve
+		scfg.ShardID = fmt.Sprintf("shard-%d", i)
+		ids[i] = scfg.ShardID
+		shards[i] = serve.New(scfg)
+	}
+	return newGateway(cfg, shards, ids)
+}
+
+// NewWithInstances builds a gateway over caller-provided shards (tests,
+// or a future remote-instance client). cfg.Shards is ignored.
+func NewWithInstances(cfg Config, instances []Instance) *Gateway {
+	if len(instances) == 0 {
+		panic("gateway: NewWithInstances requires at least one instance")
+	}
+	cfg.Shards = len(instances)
+	cfg = cfg.withDefaults()
+	ids := make([]string, len(instances))
+	for i := range instances {
+		if id := instances[i].Metrics().Shard; id != "" {
+			ids[i] = id
+		} else {
+			ids[i] = fmt.Sprintf("shard-%d", i)
+		}
+	}
+	return newGateway(cfg, instances, ids)
+}
+
+func newGateway(cfg Config, shards []Instance, ids []string) *Gateway {
+	g := &Gateway{
+		cfg:      cfg,
+		shards:   shards,
+		ids:      ids,
+		ring:     newRing(len(shards), cfg.VirtualNodes, cfg.Seed),
+		quotas:   newQuotas(cfg.Quotas, cfg.DefaultQuota, cfg.Clock),
+		versions: map[string]int64{},
+		tenants:  map[string]*tenantStats{},
+	}
+	if cfg.AuditDepth > 0 {
+		g.audit = newAuditor(cfg.AuditDepth, cfg.AuditTail, cfg.AuditSink)
+	}
+	return g
+}
+
+// Shards returns the number of shards behind the gateway.
+func (g *Gateway) Shards() int { return len(g.shards) }
+
+// routeKey is the ring key for a query: dataset@version, so every query
+// touching one dataset version shares a home shard (and with it the plan
+// cache, intermediate cache and MQO batches warmed by its siblings).
+// After an invalidation bumps the version the key changes — placement
+// deliberately re-rolls, which is free because the bump already made every
+// cached value unreachable. Dataset-less queries route by canonical
+// program text so identical scripts still colocate.
+func (g *Gateway) routeKey(q serve.Query) string {
+	if q.Dataset == "" {
+		return "script:" + canonicalKey(q.Script)
+	}
+	return fmt.Sprintf("%s@%d", q.Dataset, g.DatasetVersion(q.Dataset))
+}
+
+// canonicalKey fingerprints a script's canonical token stream (falling
+// back to the raw text when it does not parse — the shard will return the
+// compile error; the audit trail still wants a stable key).
+func canonicalKey(script string) string {
+	text, err := lang.Canonical(script)
+	if err != nil {
+		text = script
+	}
+	h := fnv.New64a()
+	h.Write([]byte(text))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// order returns the shard preference order for a query under the
+// configured routing policy.
+func (g *Gateway) order(q serve.Query) []int {
+	if !g.cfg.RouteRandom {
+		return g.ring.order(g.routeKey(q))
+	}
+	// Seeded pseudo-random (SplitMix64 over a stream counter): uniform,
+	// deterministic for a given seed and call sequence, and cache-blind.
+	x := g.cfg.Seed + 0x9e3779b97f4a7c15*(g.routeSeq.Add(1))
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	home := int(x % uint64(len(g.shards)))
+	out := make([]int, len(g.shards))
+	for i := range out {
+		out[i] = (home + i) % len(g.shards)
+	}
+	return out
+}
+
+// Do routes one request: tenant quota admission, then the home shard from
+// the ring, spilling over to the next shards in preference order (at most
+// cfg.SpillOver of them) when a shard rejects with an Overloaded-class
+// error. Every outcome — success, quota rejection, overload, failure — is
+// recorded on the audit plane with the tenant, canonical query key,
+// shard, outcome class, charged FLOP and latency.
+func (g *Gateway) Do(ctx context.Context, req Request) (*Result, error) {
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+	rid := req.RequestID
+	if rid == "" {
+		rid = NewRequestID()
+	}
+	start := g.cfg.Clock()
+	ev := Event{
+		Tenant:       tenant,
+		RequestID:    rid,
+		CanonicalKey: canonicalKey(req.Query.Script),
+		Dataset:      req.Query.Dataset,
+		Shard:        -1,
+	}
+
+	release, err := g.quotas.admit(tenant)
+	if err != nil {
+		g.quotaRej.Add(1)
+		g.tenantFinish(tenant, 0, 0, err)
+		g.auditFinish(ev, start, err)
+		return nil, err
+	}
+	defer release()
+
+	order := g.order(req.Query)
+	tries := 1 + g.cfg.SpillOver
+	if tries > len(order) {
+		tries = len(order)
+	}
+	var res *serve.QueryResult
+	var lastErr error
+	shard := -1
+	for i := 0; i < tries; i++ {
+		res, lastErr = g.shards[order[i]].Do(ctx, req.Query)
+		if lastErr != nil && resilience.IsClass(lastErr, resilience.Overloaded) && i+1 < tries {
+			// Home (or previous alternate) is saturated or its breaker is
+			// open: bounded spill-over to the next shard in ring order.
+			continue
+		}
+		shard = order[i]
+		break
+	}
+	ev.Shard = shard
+	ev.Spilled = shard != order[0]
+	latency := g.cfg.Clock().Sub(start).Seconds()
+	if lastErr != nil {
+		if resilience.IsClass(lastErr, resilience.Overloaded) {
+			g.overloadRej.Add(1)
+		}
+		g.tenantFinish(tenant, latency, 0, lastErr)
+		g.auditFinish(ev, start, lastErr)
+		return nil, lastErr
+	}
+	g.routed.Add(1)
+	if ev.Spilled {
+		g.spilled.Add(1)
+	}
+	ev.FLOP = res.FLOP
+	g.tenantFinish(tenant, latency, res.FLOP, nil)
+	g.auditFinish(ev, start, nil)
+	return &Result{
+		QueryResult: res,
+		Shard:       shard,
+		ShardID:     g.ids[shard],
+		Spilled:     ev.Spilled,
+		RequestID:   rid,
+	}, nil
+}
+
+// auditFinish stamps the outcome and latency and submits the event.
+func (g *Gateway) auditFinish(ev Event, start time.Time, err error) {
+	if g.audit == nil {
+		return
+	}
+	now := g.cfg.Clock()
+	ev.LatencySec = now.Sub(start).Seconds()
+	ev.Outcome = outcomeClass(err)
+	g.audit.submit(ev, now)
+}
+
+// outcomeClass renders an error as its audit outcome string.
+func outcomeClass(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	if class, ok := resilience.ClassOf(err); ok {
+		return class.String()
+	}
+	switch {
+	case errors.Is(err, serve.ErrClosed):
+		return "closed"
+	case errors.Is(err, serve.ErrOverloaded):
+		return resilience.Overloaded.String()
+	default:
+		return "error"
+	}
+}
+
+// InvalidateDataset bumps the dataset version and broadcasts the bump to
+// every shard in index order, synchronously: when it returns, every
+// shard's DatasetVersion(id) has reached the gateway's version, so no
+// shard can serve an intermediate cached under the old version to any
+// query admitted after the return (each shard binds the version at query
+// start and old-version cache keys are unreachable and eagerly dropped).
+// Broadcasts are serialized, so concurrent invalidations apply in one
+// global order and shard versions never diverge from the gateway's.
+func (g *Gateway) InvalidateDataset(id string) int64 {
+	g.invMu.Lock()
+	defer g.invMu.Unlock()
+	g.verMu.Lock()
+	g.versions[id]++
+	v := g.versions[id]
+	g.verMu.Unlock()
+	for _, sh := range g.shards {
+		// Acknowledged catch-up: a shard bumped out-of-band (direct
+		// InvalidateDataset on the instance) may already be ahead; behind
+		// ones are bumped until they reach the broadcast version.
+		for sh.DatasetVersion(id) < v {
+			sh.InvalidateDataset(id)
+		}
+	}
+	g.invals.Add(1)
+	return v
+}
+
+// DatasetVersion returns the gateway's current version for a dataset id
+// (0 until the first InvalidateDataset).
+func (g *Gateway) DatasetVersion(id string) int64 {
+	g.verMu.Lock()
+	defer g.verMu.Unlock()
+	return g.versions[id]
+}
+
+// ShardVersions reports each shard's view of a dataset version, in shard
+// order — after an InvalidateDataset returns they all equal the gateway's.
+func (g *Gateway) ShardVersions(id string) []int64 {
+	out := make([]int64, len(g.shards))
+	for i, sh := range g.shards {
+		out[i] = sh.DatasetVersion(id)
+	}
+	return out
+}
+
+// Audit returns up to n most recent audit events, oldest first (nil when
+// the audit plane is disabled).
+func (g *Gateway) Audit(n int) []Event {
+	if g.audit == nil {
+		return nil
+	}
+	return g.audit.Tail(n)
+}
+
+// Health is the gateway's aggregate probe payload.
+type Health struct {
+	OK bool `json:"ok"`
+	// ReadyShards counts shards currently ready for traffic.
+	ReadyShards int `json:"ready_shards"`
+	// Shards holds each shard's own probe payload, in shard order.
+	Shards []serve.Health `json:"shards"`
+}
+
+// Healthz is the liveness probe: true while every shard process is live
+// (shard liveness never fails by design; this surfaces their payloads).
+func (g *Gateway) Healthz() Health {
+	h := Health{OK: true}
+	for _, sh := range g.shards {
+		h.Shards = append(h.Shards, sh.Healthz())
+	}
+	h.ReadyShards = len(h.Shards)
+	return h
+}
+
+// Readyz is the readiness probe: the gateway can take traffic while at
+// least one shard admits (spill-over reaches it even for keys homed
+// elsewhere).
+func (g *Gateway) Readyz() Health {
+	var h Health
+	for _, sh := range g.shards {
+		shh := sh.Readyz()
+		if shh.OK {
+			h.ReadyShards++
+		}
+		h.Shards = append(h.Shards, shh)
+	}
+	h.OK = h.ReadyShards > 0
+	return h
+}
+
+// Shutdown drains every shard concurrently, then drains the audit queue
+// (flushing accepted events into the tail and sink). It returns the first
+// shard error, if any.
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(g.shards))
+	for i, sh := range g.shards {
+		wg.Add(1)
+		go func(i int, sh Instance) {
+			defer wg.Done()
+			errs[i] = sh.Shutdown(ctx)
+		}(i, sh)
+	}
+	wg.Wait()
+	if g.audit != nil {
+		g.audit.Drain()
+	}
+	return errors.Join(errs...)
+}
+
+// requestCounter feeds NewRequestID.
+var requestCounter atomic.Uint64
+
+// NewRequestID returns a process-unique request id (nanosecond timestamp
+// + counter, hex). Both HTTP front-ends use it when the client did not
+// send an X-Request-ID.
+func NewRequestID() string {
+	return fmt.Sprintf("%012x-%06x", uint64(time.Now().UnixNano())&0xffffffffffff, requestCounter.Add(1)&0xffffff)
+}

@@ -1,0 +1,102 @@
+package gateway
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"remac/internal/algorithms"
+	"remac/internal/data"
+	"remac/internal/engine"
+	"remac/internal/serve"
+)
+
+// serveTestQuery builds a real workload query (mirrors the serve package's
+// test helper, which is unexported).
+func serveTestQuery(t *testing.T, alg algorithms.Name, dsName string, iters int) serve.Query {
+	t.Helper()
+	src, err := algorithms.Script(alg, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := data.MustLoad(dsName)
+	ins := map[string]engine.Input{
+		"A":  {Data: ds.A, VRows: ds.VRows, VCols: ds.VCols},
+		"b":  {Data: ds.Label(), VRows: ds.VRows, VCols: 1},
+		"H0": {Data: ds.InitialH(), VRows: ds.VCols, VCols: ds.VCols},
+		"x0": {Data: ds.InitialX(), VRows: ds.VCols, VCols: 1},
+	}
+	q := serve.NewQuery(src, ins)
+	q.Dataset = dsName
+	q.Iterations = iters
+	return q
+}
+
+// TestGatewayServesRealShardsBitwiseIdentical: a query routed through a
+// 2-shard gateway returns bitwise the same values as a direct single
+// serve.Server run, the repeat hits the home shard's plan cache, and
+// invalidation fan-out reaches both real shards.
+func TestGatewayServesRealShardsBitwiseIdentical(t *testing.T) {
+	q := serveTestQuery(t, algorithms.DFP, "cri1", 3)
+
+	direct := serve.New(serve.Config{Workers: 2})
+	want, err := direct.Do(context.Background(), q)
+	if err != nil {
+		t.Fatalf("direct serve: %v", err)
+	}
+	if err := direct.Shutdown(context.Background()); err != nil {
+		t.Fatalf("direct shutdown: %v", err)
+	}
+
+	g := New(Config{Shards: 2, Serve: serve.Config{Workers: 2}, Seed: 11})
+	res1, err := g.Do(context.Background(), Request{Tenant: "alice", Query: q})
+	if err != nil {
+		t.Fatalf("gateway Do: %v", err)
+	}
+	res2, err := g.Do(context.Background(), Request{Tenant: "alice", Query: q})
+	if err != nil {
+		t.Fatalf("gateway repeat Do: %v", err)
+	}
+
+	for name, m := range want.Values {
+		gm, ok := res1.Values[name]
+		if !ok {
+			t.Fatalf("gateway result missing variable %s", name)
+		}
+		if m.Rows() != gm.Rows() || m.Cols() != gm.Cols() {
+			t.Fatalf("variable %s shape differs", name)
+		}
+		for i := 0; i < m.Rows(); i++ {
+			for j := 0; j < m.Cols(); j++ {
+				if math.Float64bits(m.At(i, j)) != math.Float64bits(gm.At(i, j)) {
+					t.Fatalf("variable %s differs bitwise at (%d,%d)", name, i, j)
+				}
+			}
+		}
+	}
+
+	if res1.Shard != res2.Shard {
+		t.Fatalf("affinity broken on real shards: %d then %d", res1.Shard, res2.Shard)
+	}
+	if !res2.PlanCacheHit {
+		t.Fatal("repeat on the home shard missed the plan cache")
+	}
+
+	v := g.InvalidateDataset("cri1")
+	if v != 1 {
+		t.Fatalf("invalidation version = %d, want 1", v)
+	}
+	for i, sv := range g.ShardVersions("cri1") {
+		if sv != v {
+			t.Fatalf("real shard %d at version %d after fan-out returned, want %d", i, sv, v)
+		}
+	}
+
+	st := g.Stats()
+	if st.Merged.Completed != 2 {
+		t.Fatalf("merged Completed = %d, want 2", st.Merged.Completed)
+	}
+	if err := g.Shutdown(context.Background()); err != nil {
+		t.Fatalf("gateway shutdown: %v", err)
+	}
+}

@@ -1,0 +1,105 @@
+package gateway
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"remac/internal/resilience"
+)
+
+// fakeClock is a manually advanced clock for quota tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time           { return c.t }
+func (c *fakeClock) advance(d time.Duration)  { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock                { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func mustAdmit(t *testing.T, qs *quotas, tenant string) func() {
+	t.Helper()
+	rel, err := qs.admit(tenant)
+	if err != nil {
+		t.Fatalf("admit(%s): %v", tenant, err)
+	}
+	return rel
+}
+
+// TestQuotaRateLimit: the token bucket enforces QPS+burst, rejects with a
+// typed Quota-class error carrying a positive Retry-After, and refills
+// with the clock.
+func TestQuotaRateLimit(t *testing.T) {
+	clock := newFakeClock()
+	qs := newQuotas(map[string]TenantQuota{"t": {QPS: 2, Burst: 2}}, TenantQuota{}, clock.now)
+
+	mustAdmit(t, qs, "t")()
+	mustAdmit(t, qs, "t")()
+	_, err := qs.admit("t")
+	if err == nil {
+		t.Fatal("third admit within the burst succeeded")
+	}
+	if !resilience.IsClass(err, resilience.Quota) {
+		t.Fatalf("rejection class = %v, want Quota", err)
+	}
+	if !errors.Is(err, ErrQuotaExceeded) || !errors.Is(err, resilience.ErrQuota) {
+		t.Fatalf("rejection does not match ErrQuotaExceeded/resilience.ErrQuota: %v", err)
+	}
+	var qe *resilience.QueryError
+	if !errors.As(err, &qe) || qe.RetryAfter <= 0 {
+		t.Fatalf("rejection carries no Retry-After hint: %+v", qe)
+	}
+
+	// Half a second at 2 QPS refills one token.
+	clock.advance(500 * time.Millisecond)
+	mustAdmit(t, qs, "t")()
+	if _, err := qs.admit("t"); err == nil {
+		t.Fatal("bucket admitted beyond its refill")
+	}
+}
+
+// TestQuotaConcurrencyLimit: MaxConcurrent caps in-flight queries; slots
+// free on release, and double-release is harmless.
+func TestQuotaConcurrencyLimit(t *testing.T) {
+	clock := newFakeClock()
+	qs := newQuotas(nil, TenantQuota{MaxConcurrent: 2}, clock.now)
+
+	rel1 := mustAdmit(t, qs, "t")
+	rel2 := mustAdmit(t, qs, "t")
+	if _, err := qs.admit("t"); !resilience.IsClass(err, resilience.Quota) {
+		t.Fatalf("over-concurrency admit: err = %v, want Quota class", err)
+	}
+	rel1()
+	rel1() // double release must not free a second slot
+	rel3 := mustAdmit(t, qs, "t")
+	if _, err := qs.admit("t"); err == nil {
+		t.Fatal("double-release freed an extra slot")
+	}
+	rel2()
+	rel3()
+}
+
+// TestQuotaDefaultUnlimited: the zero quota never rejects, and tenants
+// are isolated — one tenant's exhaustion does not touch another's bucket.
+func TestQuotaDefaultUnlimitedAndIsolated(t *testing.T) {
+	clock := newFakeClock()
+	qs := newQuotas(map[string]TenantQuota{"limited": {QPS: 1, Burst: 1}}, TenantQuota{}, clock.now)
+	for i := 0; i < 100; i++ {
+		mustAdmit(t, qs, "free")()
+	}
+	mustAdmit(t, qs, "limited")()
+	if _, err := qs.admit("limited"); err == nil {
+		t.Fatal("limited tenant's bucket did not empty")
+	}
+	// The limited tenant's exhaustion leaves "free" untouched.
+	mustAdmit(t, qs, "free")()
+}
+
+// TestQuotaBurstDefault: an unset Burst defaults to ceil(QPS), never 0.
+func TestQuotaBurstDefault(t *testing.T) {
+	q := TenantQuota{QPS: 2.5}.withDefaults()
+	if q.Burst != 3 {
+		t.Fatalf("Burst default = %d, want 3", q.Burst)
+	}
+	q = TenantQuota{QPS: 0.25}.withDefaults()
+	if q.Burst != 1 {
+		t.Fatalf("Burst default for fractional QPS = %d, want 1", q.Burst)
+	}
+}

@@ -1,0 +1,81 @@
+package gateway
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestRingOrderDeterministicAndComplete: a preference order is a
+// permutation of all shards, identical across rings built with the same
+// parameters (placement must be stable across processes).
+func TestRingOrderDeterministicAndComplete(t *testing.T) {
+	const shards, vnodes = 4, 64
+	a := newRing(shards, vnodes, 42)
+	b := newRing(shards, vnodes, 42)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("dataset-%d@0", i)
+		oa, ob := a.order(key), b.order(key)
+		if !reflect.DeepEqual(oa, ob) {
+			t.Fatalf("key %q: order differs across identical rings: %v vs %v", key, oa, ob)
+		}
+		if len(oa) != shards {
+			t.Fatalf("key %q: order has %d entries, want %d", key, len(oa), shards)
+		}
+		seen := map[int]bool{}
+		for _, s := range oa {
+			if s < 0 || s >= shards || seen[s] {
+				t.Fatalf("key %q: order %v is not a permutation of shards", key, oa)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestRingSpreadsKeys: with virtual nodes, a modest key population
+// touches every shard (no shard is starved of ownership).
+func TestRingSpreadsKeys(t *testing.T) {
+	const shards = 4
+	r := newRing(shards, 64, 7)
+	counts := map[int]int{}
+	for i := 0; i < 200; i++ {
+		counts[r.order(fmt.Sprintf("key-%d", i))[0]]++
+	}
+	for s := 0; s < shards; s++ {
+		if counts[s] == 0 {
+			t.Fatalf("shard %d owns no keys out of 200: %v", s, counts)
+		}
+	}
+}
+
+// TestRingSeedChangesPlacement: different seeds re-roll placement for at
+// least some keys (seeded placement is a real knob, not decorative).
+func TestRingSeedChangesPlacement(t *testing.T) {
+	a := newRing(4, 64, 1)
+	b := newRing(4, 64, 2)
+	moved := 0
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.order(key)[0] != b.order(key)[0] {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("changing the seed moved no keys at all")
+	}
+}
+
+// TestRingVersionMovesKey: bumping the version in a dataset@version key
+// may re-home the dataset — and whatever the new home is, it is stable.
+func TestRingVersionStableWithinVersion(t *testing.T) {
+	r := newRing(4, 64, 3)
+	for v := 0; v < 5; v++ {
+		key := fmt.Sprintf("cri1@%d", v)
+		first := r.order(key)[0]
+		for i := 0; i < 10; i++ {
+			if got := r.order(key)[0]; got != first {
+				t.Fatalf("key %q: home flapped %d -> %d", key, first, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package gateway
+
+import (
+	"sort"
+
+	"remac/internal/resilience"
+	"remac/internal/serve"
+)
+
+// tenantLatencyWindow bounds each tenant's sliding latency window.
+const tenantLatencyWindow = 256
+
+// tenantStats is one tenant's live accounting.
+type tenantStats struct {
+	queries   uint64
+	completed uint64
+	failed    uint64
+	quotaRej  uint64
+	flop      float64
+
+	lat     [tenantLatencyWindow]float64
+	latIdx  int
+	latFull bool
+}
+
+// tenantFinish folds one settled request into its tenant's stats. Quota
+// rejections never enter the latency window (they settle in microseconds
+// and would drown the signal the per-tenant percentiles exist for:
+// whether real queries of this tenant are getting slower).
+func (g *Gateway) tenantFinish(tenant string, latencySec, flop float64, err error) {
+	g.tenantMu.Lock()
+	defer g.tenantMu.Unlock()
+	ts, ok := g.tenants[tenant]
+	if !ok {
+		ts = &tenantStats{}
+		g.tenants[tenant] = ts
+	}
+	ts.queries++
+	switch {
+	case err == nil:
+		ts.completed++
+		ts.flop += flop
+		ts.lat[ts.latIdx] = latencySec
+		ts.latIdx++
+		if ts.latIdx == tenantLatencyWindow {
+			ts.latIdx = 0
+			ts.latFull = true
+		}
+	case resilience.IsClass(err, resilience.Quota):
+		ts.quotaRej++
+	default:
+		ts.failed++
+	}
+}
+
+// TenantStats is one tenant's aggregate view in Stats.
+type TenantStats struct {
+	Queries   uint64 `json:"queries"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	// QuotaRejected counts 429-typed admissions denials.
+	QuotaRejected uint64 `json:"quota_rejected"`
+	// FLOP is the total charged floating-point work — the audit plane's
+	// per-event cost, aggregated.
+	FLOP float64 `json:"flop"`
+	// Latency percentiles over the tenant's recent completed queries.
+	LatencyP50Sec float64 `json:"latency_p50_sec"`
+	LatencyP95Sec float64 `json:"latency_p95_sec"`
+}
+
+// ShardStats pairs a shard's identity with its metrics snapshot.
+type ShardStats struct {
+	Shard    int            `json:"shard"`
+	ID       string         `json:"id"`
+	Snapshot serve.Snapshot `json:"snapshot"`
+}
+
+// Stats is the gateway's aggregate /stats payload: routing counters, the
+// merged cross-shard snapshot, and per-shard / per-tenant breakdowns.
+type Stats struct {
+	Shards int `json:"shards"`
+	// Routed counts successfully served queries; Spilled the subset served
+	// off their home shard.
+	Routed  uint64 `json:"routed"`
+	Spilled uint64 `json:"spilled"`
+	// QuotaRejected counts tenant-quota denials (429); OverloadRejected
+	// counts whole-tier overload failures that exhausted spill-over (503).
+	QuotaRejected    uint64 `json:"quota_rejected"`
+	OverloadRejected uint64 `json:"overload_rejected"`
+	// Invalidations counts acknowledged invalidation broadcasts.
+	Invalidations uint64 `json:"invalidations"`
+	// AuditWritten / AuditDropped report audit-plane flow; drops mean the
+	// queue is undersized for the traffic.
+	AuditWritten uint64 `json:"audit_written"`
+	AuditDropped uint64 `json:"audit_dropped"`
+
+	// Merged is the cross-shard aggregate (serve.MergeSnapshots).
+	Merged serve.Snapshot `json:"merged"`
+	// PerShard breaks the same counters down by shard.
+	PerShard []ShardStats `json:"per_shard"`
+	// Tenants breaks traffic down by tenant.
+	Tenants map[string]TenantStats `json:"tenants"`
+}
+
+// Stats assembles the aggregate view: every shard's snapshot (merged and
+// per-shard), the routing and audit counters, and per-tenant breakdowns.
+func (g *Gateway) Stats() Stats {
+	st := Stats{
+		Shards:           len(g.shards),
+		Routed:           g.routed.Load(),
+		Spilled:          g.spilled.Load(),
+		QuotaRejected:    g.quotaRej.Load(),
+		OverloadRejected: g.overloadRej.Load(),
+		Invalidations:    g.invals.Load(),
+		Tenants:          map[string]TenantStats{},
+	}
+	if g.audit != nil {
+		st.AuditWritten, st.AuditDropped = g.audit.counters()
+	}
+	snaps := make([]serve.Snapshot, len(g.shards))
+	for i, sh := range g.shards {
+		snaps[i] = sh.Metrics()
+		st.PerShard = append(st.PerShard, ShardStats{Shard: i, ID: g.ids[i], Snapshot: snaps[i]})
+	}
+	st.Merged = serve.MergeSnapshots(snaps...)
+	g.tenantMu.Lock()
+	for name, ts := range g.tenants {
+		out := TenantStats{
+			Queries:       ts.queries,
+			Completed:     ts.completed,
+			Failed:        ts.failed,
+			QuotaRejected: ts.quotaRej,
+			FLOP:          ts.flop,
+		}
+		n := ts.latIdx
+		if ts.latFull {
+			n = tenantLatencyWindow
+		}
+		if n > 0 {
+			window := make([]float64, n)
+			copy(window, ts.lat[:n])
+			sort.Float64s(window)
+			out.LatencyP50Sec = quantileOf(window, 0.50)
+			out.LatencyP95Sec = quantileOf(window, 0.95)
+		}
+		st.Tenants[name] = out
+	}
+	g.tenantMu.Unlock()
+	return st
+}
+
+// quantileOf reads the nearest-rank percentile from a sorted slice.
+func quantileOf(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,323 @@
+// Package httpapi is the HTTP plumbing shared by cmd/remac-serve and
+// cmd/remac-gateway: the JSON query request/response shapes, dataset-bound
+// query construction, the resilience-class → HTTP status error writer, and
+// X-Request-ID propagation. Keeping it in one place means the two
+// front-ends cannot drift apart in how they parse workloads or render
+// failures.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"remac/internal/algorithms"
+	"remac/internal/data"
+	"remac/internal/engine"
+	"remac/internal/gateway"
+	"remac/internal/opt"
+	"remac/internal/resilience"
+	"remac/internal/serve"
+)
+
+// RequestIDHeader carries the client-supplied (or server-generated)
+// request correlation id, echoed on every response.
+const RequestIDHeader = "X-Request-ID"
+
+// TenantHeader identifies the submitting tenant to the gateway tier.
+const TenantHeader = "X-Tenant"
+
+// QueryRequest is the POST /query body for both front-ends.
+type QueryRequest struct {
+	Algorithm  string `json:"algorithm,omitempty"`
+	Script     string `json:"script,omitempty"`
+	Dataset    string `json:"dataset"`
+	Iterations int    `json:"iterations,omitempty"`
+	Strategy   string `json:"strategy,omitempty"`
+	TimeoutMS  int    `json:"timeout_ms,omitempty"`
+	// MaxIterations caps loop iterations; a program still running at the
+	// cap fails with 422 (max-iterations class).
+	MaxIterations int `json:"max_iterations,omitempty"`
+	// Recovery selects the recovery policy for this query: "lineage",
+	// "checkpoint", "coded" or "coded:k,n". Empty uses the server default.
+	Recovery string `json:"recovery,omitempty"`
+	// Tenant identifies the submitter to the gateway's quota/audit planes
+	// (the X-Tenant header wins when both are set; ignored by remac-serve).
+	Tenant string `json:"tenant,omitempty"`
+
+	NoPlanCache         bool `json:"no_plan_cache,omitempty"`
+	NoIntermediateCache bool `json:"no_intermediate_cache,omitempty"`
+}
+
+// ValueSummary reports a result variable without shipping its cells.
+type ValueSummary struct {
+	Rows      int     `json:"rows"`
+	Cols      int     `json:"cols"`
+	Frobenius float64 `json:"frobenius_norm"`
+}
+
+// QueryResponse is the POST /query reply.
+type QueryResponse struct {
+	Values           map[string]ValueSummary `json:"values"`
+	Iterations       int                     `json:"iterations"`
+	SimulatedSec     float64                 `json:"simulated_sec"`
+	ComputeSec       float64                 `json:"compute_sec"`
+	TransmitSec      float64                 `json:"transmit_sec"`
+	CompileSec       float64                 `json:"compile_sec"`
+	WallSec          float64                 `json:"wall_sec"`
+	PlanCacheHit     bool                    `json:"plan_cache_hit"`
+	IntermediateHits int                     `json:"intermediate_hits"`
+	IntermediateMiss int                     `json:"intermediate_misses"`
+	SharedHits       int                     `json:"shared_hits,omitempty"`
+	SharedProduced   int                     `json:"shared_produced,omitempty"`
+	CodedRecoveries  int                     `json:"coded_recoveries,omitempty"`
+	DecodeSec        float64                 `json:"decode_sec,omitempty"`
+	EncodeFLOP       float64                 `json:"encode_flop,omitempty"`
+	SelectedKeys     []string                `json:"selected_keys,omitempty"`
+
+	// RequestID echoes the request correlation id; the gateway also
+	// reports which shard served the query and whether it spilled.
+	RequestID string `json:"request_id,omitempty"`
+	Shard     string `json:"shard,omitempty"`
+	Spilled   bool   `json:"spilled,omitempty"`
+}
+
+// BuildResponse summarizes a query result for the wire.
+func BuildResponse(res *serve.QueryResult) QueryResponse {
+	resp := QueryResponse{
+		Values:           map[string]ValueSummary{},
+		Iterations:       res.Iterations,
+		SimulatedSec:     res.SimulatedSec,
+		ComputeSec:       res.ComputeSec,
+		TransmitSec:      res.TransmitSec,
+		CompileSec:       res.CompileSec,
+		WallSec:          res.WallSec,
+		PlanCacheHit:     res.PlanCacheHit,
+		IntermediateHits: res.IntermediateHits,
+		IntermediateMiss: res.IntermediateMisses,
+		SharedHits:       res.SharedHits,
+		SharedProduced:   res.SharedProduced,
+		CodedRecoveries:  res.CodedRecoveries,
+		DecodeSec:        res.DecodeSec,
+		EncodeFLOP:       res.EncodeFLOP,
+		SelectedKeys:     res.SelectedKeys,
+	}
+	for name, m := range res.Values {
+		resp.Values[name] = ValueSummary{Rows: m.Rows(), Cols: m.Cols(), Frobenius: m.FrobeniusNorm()}
+	}
+	return resp
+}
+
+// ParseStrategy maps the wire strategy names onto opt strategies.
+func ParseStrategy(s string) (opt.Strategy, error) {
+	switch s {
+	case "", "adaptive":
+		return opt.Adaptive, nil
+	case "none", "no-elimination":
+		return opt.NoElimination, nil
+	case "explicit":
+		return opt.Explicit, nil
+	case "conservative":
+		return opt.Conservative, nil
+	case "aggressive":
+		return opt.Aggressive, nil
+	case "automatic":
+		return opt.Automatic, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}
+
+// QueryBuilder resolves QueryRequests into serve.Queries, loading each
+// dataset once and sharing it read-only across queries.
+type QueryBuilder struct {
+	// Recovery is the server-wide default recovery policy, applied to
+	// queries that do not carry their own.
+	Recovery engine.RecoveryPolicy
+
+	mu   sync.Mutex
+	data map[string]*data.Dataset
+}
+
+// NewQueryBuilder returns a builder with an empty dataset cache.
+func NewQueryBuilder(recovery engine.RecoveryPolicy) *QueryBuilder {
+	return &QueryBuilder{Recovery: recovery, data: map[string]*data.Dataset{}}
+}
+
+func (b *QueryBuilder) dataset(name string) (*data.Dataset, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if d, ok := b.data[name]; ok {
+		return d, nil
+	}
+	d, err := data.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	b.data[name] = d
+	return d, nil
+}
+
+// Build resolves a request into a serve.Query with the dataset's standard
+// symbols bound (A, b, H0, x0 — or V, W0, H0 for GNMF).
+func (b *QueryBuilder) Build(req QueryRequest) (serve.Query, error) {
+	var q serve.Query
+	if (req.Algorithm == "") == (req.Script == "") {
+		return q, errors.New("exactly one of algorithm or script is required")
+	}
+	if req.Dataset == "" {
+		return q, errors.New("dataset is required")
+	}
+	ds, err := b.dataset(req.Dataset)
+	if err != nil {
+		return q, err
+	}
+	iters := req.Iterations
+	alg := algorithms.Name(req.Algorithm)
+	script := req.Script
+	if req.Algorithm != "" {
+		if iters == 0 {
+			iters = algorithms.DefaultIterations(alg)
+		}
+		script, err = algorithms.Script(alg, iters)
+		if err != nil {
+			return q, err
+		}
+	} else if iters == 0 {
+		iters = 15
+	}
+	ins := map[string]engine.Input{}
+	if alg == algorithms.GNMF {
+		w, wh := ds.GNMFFactors(10)
+		ins["V"] = engine.Input{Data: ds.A, VRows: ds.VRows, VCols: ds.VCols}
+		ins["W0"] = engine.Input{Data: w, VRows: ds.VRows, VCols: 10}
+		ins["H0"] = engine.Input{Data: wh, VRows: 10, VCols: ds.VCols}
+	} else {
+		ins["A"] = engine.Input{Data: ds.A, VRows: ds.VRows, VCols: ds.VCols}
+		ins["b"] = engine.Input{Data: ds.Label(), VRows: ds.VRows, VCols: 1}
+		ins["H0"] = engine.Input{Data: ds.InitialH(), VRows: ds.VCols, VCols: ds.VCols}
+		ins["x0"] = engine.Input{Data: ds.InitialX(), VRows: ds.VCols, VCols: 1}
+	}
+	q = serve.NewQuery(script, ins)
+	q.Dataset = req.Dataset
+	q.Iterations = iters
+	q.Strategy, err = ParseStrategy(req.Strategy)
+	if err != nil {
+		return q, err
+	}
+	q.Timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	q.MaxIterations = req.MaxIterations
+	q.Recovery = b.Recovery
+	if req.Recovery != "" {
+		q.Recovery, err = engine.ParseRecovery(req.Recovery)
+		if err != nil {
+			return q, err
+		}
+	}
+	q.NoPlanCache = req.NoPlanCache
+	q.NoIntermediateCache = req.NoIntermediateCache
+	return q, nil
+}
+
+// RequestID extracts the X-Request-ID header, generating a fresh id when
+// the client sent none (or whitespace).
+func RequestID(r *http.Request) string {
+	if id := strings.TrimSpace(r.Header.Get(RequestIDHeader)); id != "" {
+		return id
+	}
+	return gateway.NewRequestID()
+}
+
+// Tenant extracts the tenant identity: the X-Tenant header wins, then the
+// body field.
+func Tenant(r *http.Request, body QueryRequest) string {
+	if t := strings.TrimSpace(r.Header.Get(TenantHeader)); t != "" {
+		return t
+	}
+	return strings.TrimSpace(body.Tenant)
+}
+
+// ErrorResponse is the structured JSON body of a failed request.
+type ErrorResponse struct {
+	Error         string  `json:"error"`
+	Class         string  `json:"class,omitempty"`
+	QueryID       uint64  `json:"query_id,omitempty"`
+	Stage         string  `json:"stage,omitempty"`
+	RetryAfterSec float64 `json:"retry_after_sec,omitempty"`
+	RequestID     string  `json:"request_id,omitempty"`
+}
+
+// WriteError maps a serving failure to its HTTP status via the resilience
+// taxonomy — 400 compile, 422 max-iterations, 429 tenant quota, 503
+// overload/shed/draining (with Retry-After), 504 canceled, 500
+// execution/internal — and echoes the request id in both the header and
+// the JSON body.
+func WriteError(w http.ResponseWriter, requestID string, err error) {
+	status := http.StatusInternalServerError
+	body := ErrorResponse{Error: err.Error(), RequestID: requestID}
+	retryAfter := time.Duration(0)
+	var qe *resilience.QueryError
+	switch {
+	case errors.As(err, &qe):
+		status = qe.Class.HTTPStatus()
+		body.Class = qe.Class.String()
+		body.QueryID = qe.QueryID
+		body.Stage = qe.Stage
+		retryAfter = qe.RetryAfter
+		if (qe.Class == resilience.Overloaded || qe.Class == resilience.Quota) && retryAfter <= 0 {
+			retryAfter = time.Second
+		}
+	case errors.Is(err, serve.ErrClosed):
+		// Draining: tell clients to find another instance shortly.
+		status = http.StatusServiceUnavailable
+		body.Class = "closed"
+		retryAfter = time.Second
+	case errors.Is(err, serve.ErrOverloaded):
+		status = http.StatusServiceUnavailable
+		body.Class = resilience.Overloaded.String()
+		retryAfter = time.Second
+	case errors.Is(err, engine.ErrCanceled):
+		status = http.StatusGatewayTimeout
+		body.Class = resilience.Canceled.String()
+	case errors.Is(err, engine.ErrMaxIterations):
+		status = http.StatusUnprocessableEntity
+		body.Class = resilience.MaxIterations.String()
+	}
+	if retryAfter > 0 {
+		secs := int(retryAfter.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		body.RetryAfterSec = retryAfter.Seconds()
+	}
+	if requestID != "" {
+		w.Header().Set(RequestIDHeader, requestID)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(body); err != nil {
+		log.Printf("encode error response: %v", err)
+	}
+}
+
+// WriteJSON writes v as indented JSON, echoing the request id header when
+// present.
+func WriteJSON(w http.ResponseWriter, requestID string, v any) {
+	if requestID != "" {
+		w.Header().Set(RequestIDHeader, requestID)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}

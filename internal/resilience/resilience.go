@@ -55,6 +55,12 @@ const (
 	// Numeric is a non-finite value (NaN/Inf) caught by the engine's guard
 	// — a divergent program like MaxIterations, not a server fault.
 	Numeric
+	// Quota is a per-tenant admission rejection at the gateway tier: the
+	// tenant's token bucket is empty or its concurrent-query cap is reached.
+	// Unlike Overloaded (the whole instance is saturated), the server has
+	// capacity — this tenant specifically must back off, so HTTP maps it to
+	// 429 rather than 503. Retryable after the error's RetryAfter hint.
+	Quota
 )
 
 // String names the class as it appears in error text and JSON bodies.
@@ -76,6 +82,8 @@ func (c Class) String() string {
 		return "integrity"
 	case Numeric:
 		return "numeric"
+	case Quota:
+		return "quota"
 	default:
 		return fmt.Sprintf("Class(%d)", int(c))
 	}
@@ -92,6 +100,7 @@ var (
 	ErrMaxIterations = errors.New("resilience: max iterations exceeded")
 	ErrIntegrity     = errors.New("resilience: integrity error")
 	ErrNumeric       = errors.New("resilience: numeric error")
+	ErrQuota         = errors.New("resilience: tenant quota exceeded")
 )
 
 // Sentinel returns the class's matchable sentinel error.
@@ -111,6 +120,8 @@ func (c Class) Sentinel() error {
 		return ErrIntegrity
 	case Numeric:
 		return ErrNumeric
+	case Quota:
+		return ErrQuota
 	default:
 		return ErrInternal
 	}
@@ -122,6 +133,8 @@ func (c Class) Sentinel() error {
 // backoff off the status alone.
 func (c Class) HTTPStatus() int {
 	switch c {
+	case Quota:
+		return http.StatusTooManyRequests // 429 + Retry-After
 	case Overloaded:
 		return http.StatusServiceUnavailable // 503 + Retry-After
 	case Canceled:

@@ -13,7 +13,7 @@ import (
 // the wrapped cause keeps matching, and errors.As recovers the fields.
 func TestQueryErrorTaxonomy(t *testing.T) {
 	cause := errors.New("root cause")
-	classes := []Class{Internal, Overloaded, Canceled, Compile, Execution, MaxIterations}
+	classes := []Class{Internal, Overloaded, Canceled, Compile, Execution, MaxIterations, Quota}
 	for _, c := range classes {
 		err := fmt.Errorf("wrapped: %w", &QueryError{Class: c, QueryID: 7, Stage: "execute", Err: cause})
 		if !errors.Is(err, c.Sentinel()) {
@@ -50,6 +50,7 @@ func TestHTTPStatusMapping(t *testing.T) {
 		Canceled:      http.StatusGatewayTimeout,
 		Compile:       http.StatusBadRequest,
 		MaxIterations: http.StatusUnprocessableEntity,
+		Quota:         http.StatusTooManyRequests,
 	}
 	for c, status := range want {
 		if got := c.HTTPStatus(); got != status {

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"remac/internal/algorithms"
+)
+
+// TestInvalidateRacesBatchedQueries races InvalidateDataset bumps against
+// a stream of MQO-batched queries (run under -race in CI). The contract
+// under test: a version bump can never corrupt a result — every query,
+// whichever side of a bump it lands on, returns bitwise the reference
+// values, because each run binds the dataset version at query start and
+// old-version cache keys become unreachable atomically with the bump.
+func TestInvalidateRacesBatchedQueries(t *testing.T) {
+	s := New(Config{Workers: 4, QueueDepth: 64, BatchWindow: 2 * time.Millisecond})
+	defer s.Shutdown(context.Background())
+
+	q := testQuery(t, algorithms.DFP, "cri1", 3)
+	ref, err := s.Do(context.Background(), q)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	const queries, bumps = 24, 8
+	var wg sync.WaitGroup
+	errs := make([]error, queries)
+	results := make([]*QueryResult, queries)
+	for i := 0; i < queries; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.Do(context.Background(), testQuery(t, algorithms.DFP, "cri1", 3))
+		}(i)
+	}
+	for i := 0; i < bumps; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.InvalidateDataset("cri1")
+		}()
+	}
+	wg.Wait()
+
+	for i := 0; i < queries; i++ {
+		if errs[i] != nil {
+			t.Fatalf("query %d failed during invalidation storm: %v", i, errs[i])
+		}
+		bitwiseEqualValues(t, ref.Values, results[i].Values)
+	}
+	if v := s.DatasetVersion("cri1"); v != bumps {
+		t.Fatalf("dataset version = %d after %d bumps, want %d", v, bumps, bumps)
+	}
+
+	// A final bump after the storm settles: the very next query must see a
+	// cold intermediate cache and a fresh MQO index — zero cross-query
+	// hits — proving the bump made every prior intermediate unreachable.
+	s.InvalidateDataset("cri1")
+	res, err := s.Do(context.Background(), testQuery(t, algorithms.DFP, "cri1", 3))
+	if err != nil {
+		t.Fatalf("post-bump query: %v", err)
+	}
+	if res.IntermediateHits != 0 || res.SharedHits != 0 {
+		t.Fatalf("post-bump query reused stale work: %d intermediate hits, %d shared hits",
+			res.IntermediateHits, res.SharedHits)
+	}
+	bitwiseEqualValues(t, ref.Values, res.Values)
+}

@@ -237,6 +237,9 @@ func (m *metrics) latencyQuantile(p float64) float64 {
 // Snapshot is a point-in-time view of the server's aggregate metrics,
 // JSON-serializable for cmd/remac-serve's /stats endpoint.
 type Snapshot struct {
+	// Shard labels the instance this snapshot came from (Config.ShardID;
+	// empty for a standalone server or a merged snapshot).
+	Shard     string  `json:"shard,omitempty"`
 	UptimeSec float64 `json:"uptime_sec"`
 	Completed uint64  `json:"completed"`
 	Failed    uint64  `json:"failed"`
@@ -365,6 +368,104 @@ func (m *metrics) snapshot() Snapshot {
 		s.LatencyP99Sec = percentile(window, 0.99)
 	}
 	return s
+}
+
+// MergeSnapshots folds per-shard snapshots into one aggregate view for a
+// gateway tier's /stats: counters, cache occupancy and resilience totals
+// sum; rates (QPS, hit rates) are recomputed from the summed counters over
+// the longest shard uptime; latency percentiles are completed-weighted
+// averages of the shard percentiles — an approximation (exact merging
+// would need the raw windows), adequate for dashboards and documented as
+// such. The merged snapshot carries no Shard label.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	var m Snapshot
+	var completed float64
+	for _, s := range snaps {
+		if s.UptimeSec > m.UptimeSec {
+			m.UptimeSec = s.UptimeSec
+		}
+		m.Completed += s.Completed
+		m.Failed += s.Failed
+		m.Canceled += s.Canceled
+		m.Rejected += s.Rejected
+		m.Shed += s.Shed
+		m.PlanHits += s.PlanHits
+		m.PlanMisses += s.PlanMisses
+		m.PlanEntries += s.PlanEntries
+		m.InterHits += s.InterHits
+		m.InterMisses += s.InterMisses
+		m.InterEntries += s.InterEntries
+		m.InterBytes += s.InterBytes
+		m.QueueDepth += s.QueueDepth
+		m.InFlight += s.InFlight
+		m.PanicsRecovered += s.PanicsRecovered
+		m.WorkerRespawns += s.WorkerRespawns
+		m.Retries += s.Retries
+		m.Hedges += s.Hedges
+		m.HedgesWon += s.HedgesWon
+		m.Breaker.Opened += s.Breaker.Opened
+		m.Breaker.HalfOpened += s.Breaker.HalfOpened
+		m.Breaker.Closed += s.Breaker.Closed
+		m.Breaker.Shed += s.Breaker.Shed
+		m.CorruptionsInjected += s.CorruptionsInjected
+		m.CorruptionsDigest += s.CorruptionsDigest
+		m.CorruptionsABFT += s.CorruptionsABFT
+		m.IntegrityRepairs += s.IntegrityRepairs
+		m.RepairSec += s.RepairSec
+		m.CodedRecoveries += s.CodedRecoveries
+		m.DecodeSec += s.DecodeSec
+		m.EncodeFLOP += s.EncodeFLOP
+		m.MQOBatches += s.MQOBatches
+		m.MQOBatchedQueries += s.MQOBatchedQueries
+		m.MQOOverlapKeys += s.MQOOverlapKeys
+		m.MQOSharedHits += s.MQOSharedHits
+		m.MQOSharedProduced += s.MQOSharedProduced
+		m.MQOAbandoned += s.MQOAbandoned
+		m.MQOFlopSaved += s.MQOFlopSaved
+		w := float64(s.Completed)
+		m.LatencyP50Sec += w * s.LatencyP50Sec
+		m.LatencyP95Sec += w * s.LatencyP95Sec
+		m.LatencyP99Sec += w * s.LatencyP99Sec
+		completed += w
+		// The merged breaker state reports the worst shard: one open
+		// breaker anywhere is the operational signal that matters.
+		if worseBreakerState(s.BreakerState, m.BreakerState) {
+			m.BreakerState = s.BreakerState
+		}
+	}
+	if completed > 0 {
+		m.LatencyP50Sec /= completed
+		m.LatencyP95Sec /= completed
+		m.LatencyP99Sec /= completed
+	}
+	if m.UptimeSec > 0 {
+		m.QPS = float64(m.Completed) / m.UptimeSec
+	}
+	if t := m.PlanHits + m.PlanMisses; t > 0 {
+		m.PlanHitRate = float64(m.PlanHits) / float64(t)
+	}
+	if t := m.InterHits + m.InterMisses; t > 0 {
+		m.InterHitRate = float64(m.InterHits) / float64(t)
+	}
+	return m
+}
+
+// worseBreakerState orders breaker states by operational severity:
+// open > half-open > closed > unknown/empty.
+func worseBreakerState(a, b string) bool {
+	rank := func(s string) int {
+		switch s {
+		case resilience.BreakerOpen.String():
+			return 3
+		case resilience.BreakerHalfOpen.String():
+			return 2
+		case resilience.BreakerClosed.String():
+			return 1
+		default:
+			return 0
+		}
+	}
+	return rank(a) > rank(b)
 }
 
 // percentile reads the nearest-rank percentile from a sorted slice.

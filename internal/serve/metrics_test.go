@@ -259,3 +259,97 @@ func TestHealthProbes(t *testing.T) {
 		t.Fatalf("draining server still ready: %+v", r)
 	}
 }
+
+// TestMergeSnapshots: counters sum, rates recompute from the sums, uptime
+// is the longest shard's, latency percentiles are completed-weighted, and
+// the worst breaker state wins.
+func TestMergeSnapshots(t *testing.T) {
+	a := Snapshot{
+		Shard:         "shard-0",
+		UptimeSec:     10,
+		Completed:     30,
+		Failed:        1,
+		PlanHits:      9,
+		PlanMisses:    1,
+		InterHits:     20,
+		InterMisses:   5,
+		InterBytes:    1 << 20,
+		InterEntries:  4,
+		QueueDepth:    2,
+		InFlight:      1,
+		LatencyP50Sec: 0.010,
+		LatencyP95Sec: 0.020,
+		BreakerState:  resilience.BreakerClosed.String(),
+		Breaker:       resilience.BreakerCounters{Opened: 1, Shed: 3},
+		MQOSharedHits: 4,
+		MQOFlopSaved:  1000,
+	}
+	b := Snapshot{
+		Shard:         "shard-1",
+		UptimeSec:     8,
+		Completed:     10,
+		Rejected:      2,
+		PlanHits:      1,
+		PlanMisses:    9,
+		InterMisses:   15,
+		LatencyP50Sec: 0.030,
+		LatencyP95Sec: 0.060,
+		BreakerState:  resilience.BreakerOpen.String(),
+		Breaker:       resilience.BreakerCounters{Opened: 2},
+	}
+
+	m := MergeSnapshots(a, b)
+	if m.Shard != "" {
+		t.Fatalf("merged snapshot carries a shard label %q", m.Shard)
+	}
+	if m.Completed != 40 || m.Failed != 1 || m.Rejected != 2 {
+		t.Fatalf("outcome counters did not sum: %+v", m)
+	}
+	if m.UptimeSec != 10 {
+		t.Fatalf("uptime = %v, want the longest shard's 10", m.UptimeSec)
+	}
+	if m.QPS != 4 {
+		t.Fatalf("QPS = %v, want 40 completed / 10 s = 4", m.QPS)
+	}
+	if m.PlanHits != 10 || m.PlanMisses != 10 || m.PlanHitRate != 0.5 {
+		t.Fatalf("plan cache merge wrong: hits %d misses %d rate %v", m.PlanHits, m.PlanMisses, m.PlanHitRate)
+	}
+	if m.InterHits != 20 || m.InterMisses != 20 || m.InterHitRate != 0.5 {
+		t.Fatalf("intermediate cache merge wrong: hits %d misses %d rate %v", m.InterHits, m.InterMisses, m.InterHitRate)
+	}
+	if m.InterBytes != 1<<20 || m.InterEntries != 4 {
+		t.Fatalf("cache occupancy did not sum: %d bytes %d entries", m.InterBytes, m.InterEntries)
+	}
+	if m.QueueDepth != 2 || m.InFlight != 1 {
+		t.Fatalf("queue gauges did not sum: depth %d inflight %d", m.QueueDepth, m.InFlight)
+	}
+	// Completed-weighted percentile: (30*0.010 + 10*0.030) / 40 = 0.015.
+	if m.LatencyP50Sec < 0.0149 || m.LatencyP50Sec > 0.0151 {
+		t.Fatalf("p50 = %v, want completed-weighted 0.015", m.LatencyP50Sec)
+	}
+	if m.LatencyP95Sec < 0.0299 || m.LatencyP95Sec > 0.0301 {
+		t.Fatalf("p95 = %v, want completed-weighted 0.030", m.LatencyP95Sec)
+	}
+	if m.BreakerState != resilience.BreakerOpen.String() {
+		t.Fatalf("breaker state = %q, want the worst shard's open", m.BreakerState)
+	}
+	if m.Breaker.Opened != 3 || m.Breaker.Shed != 3 {
+		t.Fatalf("breaker counters did not sum: %+v", m.Breaker)
+	}
+	if m.MQOSharedHits != 4 || m.MQOFlopSaved != 1000 {
+		t.Fatalf("MQO counters did not sum: %+v", m)
+	}
+}
+
+// TestMergeSnapshotsEmptyAndSingle: merging nothing is the zero snapshot;
+// merging one snapshot keeps its counters (modulo the shard label).
+func TestMergeSnapshotsEmptyAndSingle(t *testing.T) {
+	if m := MergeSnapshots(); m.Completed != 0 || m.QPS != 0 {
+		t.Fatalf("empty merge not zero: %+v", m)
+	}
+	one := Snapshot{Shard: "shard-0", UptimeSec: 5, Completed: 7, LatencyP50Sec: 0.002}
+	m := MergeSnapshots(one)
+	if m.Completed != 7 || m.UptimeSec != 5 || m.LatencyP50Sec != 0.002 {
+		t.Fatalf("single merge mangled counters: %+v", m)
+	}
+}

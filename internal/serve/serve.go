@@ -66,6 +66,10 @@ var (
 // Config parameterizes a Server. The zero value picks sensible defaults;
 // negative cache sizes disable the corresponding cache.
 type Config struct {
+	// ShardID labels this server instance in metrics snapshots. The gateway
+	// tier sets it ("shard-0", …) so merged /stats can attribute per-shard
+	// breakdowns; a standalone server may leave it empty.
+	ShardID string
 	// Workers bounds concurrently executing queries. Default
 	// runtime.GOMAXPROCS(0).
 	Workers int
@@ -847,6 +851,7 @@ func clusterSig(c cluster.Config) string {
 // metrics, resilience counters included.
 func (s *Server) Metrics() Snapshot {
 	snap := s.metrics.snapshot()
+	snap.Shard = s.cfg.ShardID
 	if s.plans != nil {
 		snap.PlanEntries = s.plans.len()
 	}
