@@ -1,32 +1,41 @@
 // remac-gateway fronts a sharded serving tier (internal/gateway): N
 // in-process serve.Server shards behind a consistent-hash router with
-// per-tenant admission quotas, acknowledged cross-shard invalidation and
-// an audit plane.
+// per-tenant admission quotas, acknowledged cross-shard invalidation, an
+// audit plane, and a shard lifecycle monitor that detects dead shards
+// (active probes plus passive failure windows), fails queries over to the
+// next ring shard, ejects and respawns the dead instance, and readmits it
+// only after its dataset versions catch back up.
 //
 // Usage:
 //
 //	remac-gateway -shards 3                          # 3 shards on :8357
 //	remac-gateway -shards 4 -spill 2 \
 //	    -quota noisy=0.5:1:1 -quota batch=10:20:8    # per-tenant quotas
+//	remac-gateway -shards 4 -failover 2 \
+//	    -probe-interval 500ms -eject-after 2         # aggressive failover
 //
 // Endpoints:
 //
 //	POST /query   same body as remac-serve, plus tenant identity via the
 //	              X-Tenant header or a "tenant" JSON field. Replies carry
 //	              the serving shard, whether the query spilled off its home
-//	              shard, and the request id.
+//	              shard or failed over off a dead one, and the request id.
 //	GET  /stats   aggregate view: merged cross-shard snapshot, per-shard
-//	              and per-tenant breakdowns, routing/audit counters.
+//	              (including lifecycle state) and per-tenant breakdowns,
+//	              routing/failover/audit counters.
 //	POST /invalidate?dataset=cri2  acknowledged fan-out: bumps the version
-//	              on every shard before replying, so no shard serves the
-//	              old version once the response arrives.
-//	GET  /audit   most recent audit events (?n= bounds the tail).
-//	GET  /healthz liveness; GET /readyz readiness (ready while at least one
-//	              shard admits).
+//	              on every shard before replying, so no live shard serves
+//	              the old version once the response arrives.
+//	GET  /audit   most recent audit events, including membership
+//	              transitions (?n= bounds the tail).
+//	GET  /healthz fleet liveness; GET /readyz readiness. Both report 503
+//	              once ejections drop the live-shard count below
+//	              -ready-quorum.
 //
 // Tenants over their token-bucket QPS or concurrency quota receive 429
-// with Retry-After and a structured JSON body; whole-tier overload is 503.
-// Every response echoes X-Request-ID (client-sent or generated).
+// with Retry-After and a structured JSON body; whole-tier overload is
+// 503; a query whose deadline runs out across attempts is 504. Every
+// response echoes X-Request-ID (client-sent or generated).
 //
 // SIGINT/SIGTERM drain every shard, flush the audit queue, then exit.
 package main
@@ -87,6 +96,7 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 	resp.RequestID = res.RequestID
 	resp.Shard = res.ShardID
 	resp.Spilled = res.Spilled
+	resp.Failover = res.Failover
 	httpapi.WriteJSON(w, rid, resp)
 }
 
@@ -142,13 +152,31 @@ func (h *handler) audit(w http.ResponseWriter, r *http.Request) {
 	httpapi.WriteJSON(w, rid, map[string]any{"events": events})
 }
 
+// writeHealth renders a fleet probe payload: 200 while the live-shard
+// quorum holds, 503 with Retry-After once ejections have broken it.
+func writeHealth(w http.ResponseWriter, rid string, hz gateway.Health) {
+	if hz.OK {
+		httpapi.WriteJSON(w, rid, hz)
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	w.Header().Set(httpapi.RequestIDHeader, rid)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(hz); err != nil {
+		log.Printf("encode health: %v", err)
+	}
+}
+
 func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 	rid := httpapi.RequestID(r)
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
-	httpapi.WriteJSON(w, rid, h.gw.Healthz())
+	writeHealth(w, rid, h.gw.Healthz())
 }
 
 func (h *handler) readyz(w http.ResponseWriter, r *http.Request) {
@@ -157,20 +185,7 @@ func (h *handler) readyz(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
-	hz := h.gw.Readyz()
-	if !hz.OK {
-		w.Header().Set("Retry-After", "1")
-		w.Header().Set(httpapi.RequestIDHeader, rid)
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusServiceUnavailable)
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(hz); err != nil {
-			log.Printf("encode readyz: %v", err)
-		}
-		return
-	}
-	httpapi.WriteJSON(w, rid, hz)
+	writeHealth(w, rid, h.gw.Readyz())
 }
 
 // newMux wires the handler's routes (shared with the tests).
@@ -218,6 +233,12 @@ func main() {
 	addr := flag.String("addr", ":8357", "listen address")
 	shards := flag.Int("shards", 2, "number of in-process serving shards")
 	spill := flag.Int("spill", 1, "alternate shards to try when the home shard is overloaded (negative: none)")
+	failover := flag.Int("failover", 1, "alternate shards to try when a shard fails a query with an internal error (negative: none)")
+	probeInterval := flag.Duration("probe-interval", time.Second, "active health probe period (0: probing disabled)")
+	ejectAfter := flag.Int("eject-after", 3, "consecutive failed probes before a shard is ejected (negative: active detection off)")
+	passiveFailures := flag.Int("passive-failures", 3, "consecutive internal-class query failures before passive ejection (negative: off)")
+	rejoinProbes := flag.Int("rejoin-probes", 2, "consecutive caught-up probes before a rejoining shard is readmitted")
+	readyQuorum := flag.Int("ready-quorum", 1, "minimum live shards for /healthz and /readyz to report 200")
 	vnodes := flag.Int("vnodes", 64, "virtual nodes per shard on the consistent-hash ring")
 	seed := flag.Uint64("seed", 0, "ring placement seed")
 	workers := flag.Int("workers", 0, "worker pool size per shard (0: GOMAXPROCS)")
@@ -253,18 +274,24 @@ func main() {
 	}
 
 	gw := gateway.New(gateway.Config{
-		Shards:       *shards,
-		VirtualNodes: *vnodes,
-		Seed:         *seed,
-		SpillOver:    *spill,
-		Quotas:       quotas,
-		DefaultQuota: def,
-		AuditDepth:   *auditDepth,
-		AuditTail:    *auditTail,
+		Shards:          *shards,
+		VirtualNodes:    *vnodes,
+		Seed:            *seed,
+		SpillOver:       *spill,
+		Failover:        *failover,
+		ProbeInterval:   *probeInterval,
+		EjectAfter:      *ejectAfter,
+		PassiveFailures: *passiveFailures,
+		RejoinProbes:    *rejoinProbes,
+		ReadyQuorum:     *readyQuorum,
+		DefaultTimeout:  *timeout,
+		Quotas:          quotas,
+		DefaultQuota:    def,
+		AuditDepth:      *auditDepth,
+		AuditTail:       *auditTail,
 		Serve: serve.Config{
 			Workers:                 *workers,
 			QueueDepth:              *queue,
-			DefaultTimeout:          *timeout,
 			PlanCacheEntries:        *planEntries,
 			IntermediateBudgetBytes: *interBudget,
 			BatchWindow:             *batchWindow,

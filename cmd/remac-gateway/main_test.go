@@ -173,3 +173,52 @@ func TestParseQuota(t *testing.T) {
 		}
 	}
 }
+
+// TestHealthQuorum: a fleet below its ready quorum answers 503 with a
+// Retry-After hint on both health endpoints, and /stats exposes each
+// shard's lifecycle state so an operator can see why.
+func TestHealthQuorum(t *testing.T) {
+	_, mux := testHandler(t, gateway.Config{Shards: 1, ReadyQuorum: 2})
+	for _, path := range []string{"/healthz", "/readyz"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("%s below quorum = %d, want 503: %s", path, rec.Code, rec.Body)
+		}
+		if rec.Header().Get("Retry-After") == "" {
+			t.Fatalf("%s: 503 without Retry-After", path)
+		}
+		var hz gateway.Health
+		if err := json.Unmarshal(rec.Body.Bytes(), &hz); err != nil {
+			t.Fatalf("%s body: %v", path, err)
+		}
+		if hz.OK || hz.ReadyShards != 1 || hz.Quorum != 2 {
+			t.Fatalf("%s health = %+v, want !OK with 1/2 quorum", path, hz)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats = %d: %s", rec.Code, rec.Body)
+	}
+	var st gateway.Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.PerShard) != 1 || st.PerShard[0].Lifecycle.State != "healthy" {
+		t.Fatalf("stats lifecycle = %+v, want one healthy shard", st.PerShard)
+	}
+}
+
+// TestHealthAtQuorum: with quorum satisfied, both endpoints answer 200.
+func TestHealthAtQuorum(t *testing.T) {
+	_, mux := testHandler(t, gateway.Config{Shards: 2, ReadyQuorum: 2})
+	for _, path := range []string{"/healthz", "/readyz"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s at quorum = %d, want 200: %s", path, rec.Code, rec.Body)
+		}
+	}
+}

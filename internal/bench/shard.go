@@ -153,6 +153,118 @@ func shardQuotaArm(noisy bool) (gateway.Stats, error) {
 	return st, nil
 }
 
+// shardFailoverArm replays the workload through three killable shards,
+// kills the cri1 home mid-stream, and measures availability. With
+// failover on, the gateway also probes (ejecting, respawning and
+// readmitting the victim after invalidation catch-up); the control arm
+// disables failover, probing and passive detection, so every query routed
+// at the corpse fails. Returns the stats, the availability fraction, and
+// the per-workload result hashes of the successes.
+func shardFailoverArm(failover bool) (gateway.Stats, float64, map[int]uint64, error) {
+	const shards = 3
+	mk := func(id string) *gateway.Killable {
+		return gateway.NewKillable(serve.New(serve.Config{Workers: 2, QueueDepth: 64, ShardID: id}))
+	}
+	slots := make([]*gateway.Killable, shards)
+	insts := make([]gateway.Instance, shards)
+	for i := range insts {
+		slots[i] = mk(fmt.Sprintf("shard-%d", i))
+		insts[i] = slots[i]
+	}
+	cfg := gateway.Config{Seed: 17}
+	if failover {
+		cfg.Failover = 2
+		cfg.EjectAfter = 2
+		cfg.PassiveFailures = 2
+		cfg.RejoinProbes = 1
+		cfg.Respawn = func(i int, id string) gateway.Instance {
+			k := mk(id)
+			slots[i] = k
+			return k
+		}
+	} else {
+		cfg.Failover = -1
+		cfg.EjectAfter = -1
+		cfg.PassiveFailures = -1
+	}
+	gw := gateway.NewWithInstances(cfg, insts)
+
+	fail := func(err error) (gateway.Stats, float64, map[int]uint64, error) {
+		gw.Shutdown(context.Background())
+		return gateway.Stats{}, 0, nil, err
+	}
+
+	const repeats = 8
+	total := repeats * len(shardWorkload)
+	killAt := len(shardWorkload) // one clean pass establishes the references
+	victim := -1
+	hashes := map[int]uint64{}
+	ok := 0
+	var auxVersion int64
+	for k := 0; k < total; k++ {
+		if k == killAt {
+			if victim < 0 {
+				return fail(fmt.Errorf("shard failover: no cri1 success in the clean pass"))
+			}
+			slots[victim].Kill(gateway.KillErrors)
+			if failover {
+				// A broadcast the corpse must miss: readmission has to replay
+				// it before the victim takes traffic again.
+				auxVersion = gw.InvalidateDataset("aux")
+			}
+		}
+		if failover && k > killAt && k%3 == 0 {
+			gw.ProbeNow()
+		}
+		wi := k % len(shardWorkload)
+		q, err := serveQuery(shardWorkload[wi])
+		if err != nil {
+			return fail(err)
+		}
+		res, err := gw.Do(context.Background(), gateway.Request{Tenant: shardTenant(k), Query: q})
+		if err != nil {
+			if k < killAt {
+				return fail(fmt.Errorf("shard failover: clean-pass query %d: %w", k, err))
+			}
+			if !resilience.IsClass(err, resilience.Internal) && !resilience.IsClass(err, resilience.Overloaded) {
+				return fail(fmt.Errorf("shard failover: query %d failed outside the expected classes: %w", k, err))
+			}
+			continue
+		}
+		ok++
+		if shardWorkload[wi].dataset == "cri1" && victim < 0 {
+			victim = res.Shard
+		}
+		hh := resultHash(res.QueryResult)
+		if ref, seen := hashes[wi]; !seen {
+			hashes[wi] = hh
+		} else if ref != hh {
+			return fail(fmt.Errorf("shard failover: workload %d result differs bitwise across the kill", wi))
+		}
+	}
+
+	if failover {
+		// Drive the supervisor to readmission and check the catch-up gate.
+		for r := 0; r < 8 && gw.ShardState(victim) != gateway.ShardHealthy; r++ {
+			gw.ProbeNow()
+		}
+		if got := gw.ShardState(victim); got != gateway.ShardHealthy {
+			return fail(fmt.Errorf("shard failover: victim %d state %v after probe rounds, want healthy", victim, got))
+		}
+		for i, sv := range gw.ShardVersions("aux") {
+			if sv != auxVersion {
+				return fail(fmt.Errorf("shard failover: shard %d at aux version %d after rejoin, want %d", i, sv, auxVersion))
+			}
+		}
+	}
+
+	st := gw.Stats()
+	if err := gw.Shutdown(context.Background()); err != nil {
+		return gateway.Stats{}, 0, nil, err
+	}
+	return st, float64(ok) / float64(total), hashes, nil
+}
+
 // victimP95 is the worst victim tenant p95 in an arm.
 func victimP95(st gateway.Stats) float64 {
 	p := 0.0
@@ -172,13 +284,16 @@ func victimP95(st gateway.Stats) float64 {
 // shards sustains a strictly higher intermediate-cache hit rate than
 // random routing, (3) the quota-capped noisy tenant receives typed 429s
 // while the victims' p95 stays within 2x of the no-noisy-neighbor run,
-// and (4) every invalidation fan-out leaves all shards at the broadcast
-// version before returning.
+// (4) every invalidation fan-out leaves all shards at the broadcast
+// version before returning, and (5) availability during a one-shard kill
+// is strictly higher with failover than in the no-failover control, with
+// the victim ejected, respawned, and readmitted only after invalidation
+// catch-up.
 func ShardBench() (*Table, error) {
 	t := &Table{
 		ID:      "Shard",
 		Title:   "Sharded serving tier: affinity vs random routing, tenant quotas under a noisy neighbor",
-		Columns: []string{"shards", "queries", "quota 429s", "GFLOP", "plan hit%", "inter hit%", "p95(ms)"},
+		Columns: []string{"shards", "queries", "avail%", "failovers", "quota 429s", "GFLOP", "plan hit%", "inter hit%", "p95(ms)"},
 	}
 
 	type routeArm struct {
@@ -214,6 +329,8 @@ func ShardBench() (*Table, error) {
 			Values: map[string]float64{
 				"shards":     float64(arm.shards),
 				"queries":    float64(st.Routed),
+				"avail%":     100,
+				"failovers":  0,
 				"quota 429s": 0,
 				"GFLOP":      st.Tenants["tenant-a"].FLOP/1e9 + st.Tenants["tenant-b"].FLOP/1e9 + st.Tenants["tenant-c"].FLOP/1e9 + st.Tenants["tenant-d"].FLOP/1e9,
 				"plan hit%":  100 * st.Merged.PlanHitRate,
@@ -256,11 +373,58 @@ func ShardBench() (*Table, error) {
 			Values: map[string]float64{
 				"shards":     2,
 				"queries":    float64(st.Routed),
+				"avail%":     100,
+				"failovers":  0,
 				"quota 429s": float64(st.QuotaRejected),
 				"GFLOP":      st.Tenants["victim-1"].FLOP/1e9 + st.Tenants["victim-2"].FLOP/1e9,
 				"plan hit%":  100 * st.Merged.PlanHitRate,
 				"inter hit%": 100 * st.Merged.InterHitRate,
 				"p95(ms)":    victimP95(st) * 1e3,
+			},
+		})
+	}
+
+	// Kill arms: one shard dies mid-stream, with and without failover.
+	foStats, foAvail, foHashes, err := shardFailoverArm(true)
+	if err != nil {
+		return nil, err
+	}
+	ctlStats, ctlAvail, _, err := shardFailoverArm(false)
+	if err != nil {
+		return nil, err
+	}
+	for wi, ref := range refHashes {
+		if hh, seen := foHashes[wi]; seen && hh != ref {
+			return nil, fmt.Errorf("shard: failover arm workload %d differs bitwise from the single-instance reference", wi)
+		}
+	}
+	if foAvail <= ctlAvail {
+		return nil, fmt.Errorf("shard: failover availability %.1f%% not above the no-failover control's %.1f%% during a one-shard kill",
+			100*foAvail, 100*ctlAvail)
+	}
+	if foStats.FailedOver == 0 {
+		return nil, fmt.Errorf("shard: failover arm never failed a query over despite the kill")
+	}
+	if foStats.Ejections == 0 || foStats.Rejoins == 0 {
+		return nil, fmt.Errorf("shard: failover arm ejections=%d rejoins=%d, want both nonzero", foStats.Ejections, foStats.Rejoins)
+	}
+	for _, ka := range []struct {
+		label string
+		st    gateway.Stats
+		avail float64
+	}{{"kill-failover", foStats, foAvail}, {"kill-no-failover", ctlStats, ctlAvail}} {
+		t.Rows = append(t.Rows, Row{
+			Label: ka.label,
+			Values: map[string]float64{
+				"shards":     3,
+				"queries":    float64(ka.st.Routed),
+				"avail%":     100 * ka.avail,
+				"failovers":  float64(ka.st.FailedOver),
+				"quota 429s": 0,
+				"GFLOP":      ka.st.Tenants["tenant-a"].FLOP/1e9 + ka.st.Tenants["tenant-b"].FLOP/1e9 + ka.st.Tenants["tenant-c"].FLOP/1e9 + ka.st.Tenants["tenant-d"].FLOP/1e9,
+				"plan hit%":  100 * ka.st.Merged.PlanHitRate,
+				"inter hit%": 100 * ka.st.Merged.InterHitRate,
+				"p95(ms)":    ka.st.Merged.LatencyP95Sec * 1e3,
 			},
 		})
 	}
@@ -271,6 +435,8 @@ func ShardBench() (*Table, error) {
 			100*hitRate["affinity-4"], 100*hitRate["random-4"]),
 		fmt.Sprintf("noisy neighbor: %d typed 429s for the capped tenant; victim p95 %.1fms vs %.1fms without it",
 			noisyArm.Tenants["noisy"].QuotaRejected, noisyP95*1e3, baseP95*1e3),
-		"every arm's invalidation fan-out left all shards at the broadcast version before returning")
+		"every arm's invalidation fan-out left all shards at the broadcast version before returning",
+		fmt.Sprintf("one-shard kill: %.1f%% availability with failover (%d failovers, %d ejections, victim respawned and readmitted after catch-up) vs %.1f%% without",
+			100*foAvail, foStats.FailedOver, foStats.Ejections, 100*ctlAvail))
 	return t, nil
 }

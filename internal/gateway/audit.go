@@ -6,9 +6,16 @@ import (
 	"time"
 )
 
-// Event is one audit record: who ran what, where it ran, how it ended,
-// and what it cost. Events carry the request id so cross-shard traces
-// correlate with server logs and error bodies.
+// EventTransition is the Kind of a shard membership transition event
+// (query events leave Kind empty).
+const EventTransition = "transition"
+
+// Event is one audit record: a query (who ran what, where it ran, how it
+// ended, and what it cost) or a shard membership transition (Kind
+// "transition": which shard moved between which lifecycle states, on what
+// evidence). Events carry the request id so cross-shard traces correlate
+// with server logs and error bodies; a passive ejection carries the
+// request id of the query that tripped it.
 type Event struct {
 	// Seq is a gateway-assigned total order over events (1-based). The
 	// asynchronous writer preserves submission order per goroutine; Seq
@@ -33,11 +40,46 @@ type Event struct {
 	Outcome string `json:"outcome"`
 	// Spilled marks a query served off its home shard.
 	Spilled bool `json:"spilled,omitempty"`
+	// Failover marks a query re-routed off a failed shard.
+	Failover bool `json:"failover,omitempty"`
+	// Kind distinguishes membership transitions ("transition") from query
+	// events (empty).
+	Kind string `json:"kind,omitempty"`
+	// From / To are the lifecycle states around a transition.
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+	// Reason is the transition trigger ("probe", "passive", "respawn",
+	// "rejoin") plus its evidence (probe detail, failure window size).
+	Reason string `json:"reason,omitempty"`
 	// FLOP is the floating-point work charged to the query's simulated
 	// cluster (0 for rejections and failures).
 	FLOP float64 `json:"flop"`
 	// LatencySec is the gateway-observed end-to-end latency.
 	LatencySec float64 `json:"latency_sec"`
+}
+
+// recordTransition submits a membership transition to the audit plane so
+// operators can reconstruct any outage from GET /audit: the shard, the
+// states around the move, the trigger and its evidence, and — for passive
+// ejections — the request id of the query that tripped the window.
+func (g *Gateway) recordTransition(shard int, from, to ShardState, reason, evidence, requestID string) {
+	if g.audit == nil {
+		return
+	}
+	ev := Event{
+		Kind:      EventTransition,
+		Shard:     shard,
+		Tenant:    "system",
+		RequestID: requestID,
+		From:      from.String(),
+		To:        to.String(),
+		Outcome:   to.String(),
+		Reason:    reason,
+	}
+	if evidence != "" {
+		ev.Reason = reason + ": " + evidence
+	}
+	g.audit.submit(ev, g.cfg.Clock())
 }
 
 // Sink consumes audit events off the auditor's queue, one call per event,

@@ -64,6 +64,48 @@ type Config struct {
 	// routing destroys cache locality by construction — and for A/B
 	// measurements; production configurations want affinity.
 	RouteRandom bool
+	// Failover bounds how many alternate shards a query may try after a
+	// shard fails it with an Internal-class error (crash, panic, abandoned
+	// producer). Distinct from SpillOver: spill-over reacts to overload
+	// (the shard is alive but saturated), failover to failure (the shard is
+	// broken). Negative disables failover; default 1.
+	Failover int
+
+	// ProbeInterval is the active health monitor's period. Zero disables
+	// the background prober — ProbeNow still drives rounds manually (tests,
+	// benches, operators).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one shard probe; a probe that hangs past it is a
+	// liveness failure (a wedged shard must not stall the monitor). Default
+	// 1s.
+	ProbeTimeout time.Duration
+	// EjectAfter is how many consecutive failed probes eject a shard
+	// (healthy → suspect on the first, ejected on the EjectAfter-th).
+	// Negative disables active detection; default 3.
+	EjectAfter int
+	// PassiveFailures is how many consecutive Internal-class query
+	// outcomes on one shard trip passive ejection (a breaker window one
+	// layer above the shard's own). Negative disables passive detection;
+	// default 3.
+	PassiveFailures int
+	// RejoinProbes is how many consecutive passed probes — each with
+	// dataset versions fully caught up to the gateway's broadcast versions
+	// — a rejoining shard needs before readmission. Default 2.
+	RejoinProbes int
+	// ReadyQuorum is the minimum number of live (non-ejected, probe-OK)
+	// shards for the gateway itself to report healthy/ready. Default 1.
+	ReadyQuorum int
+	// Respawn, when non-nil, is the supervisor's factory for replacing a
+	// dead ejected instance. New installs a default that respawns an
+	// in-process serve.Server with the shard's original configuration;
+	// NewWithInstances leaves it nil unless the caller provides one.
+	Respawn func(shard int, id string) Instance
+
+	// DefaultTimeout is the per-query deadline bound once at the gateway:
+	// every spill-over and failover attempt shares the remaining budget
+	// (no fresh timeout per attempt). Query.Timeout overrides it per
+	// query. Zero means no gateway deadline.
+	DefaultTimeout time.Duration
 
 	// Quotas maps tenant name to its admission quota; tenants not listed
 	// get DefaultQuota. A zero quota is unlimited.
@@ -98,6 +140,27 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SpillOver < 0 {
 		c.SpillOver = 0
+	}
+	if c.Failover == 0 {
+		c.Failover = 1
+	}
+	if c.Failover < 0 {
+		c.Failover = 0
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.EjectAfter == 0 {
+		c.EjectAfter = 3
+	}
+	if c.PassiveFailures == 0 {
+		c.PassiveFailures = 3
+	}
+	if c.RejoinProbes <= 0 {
+		c.RejoinProbes = 2
+	}
+	if c.ReadyQuorum <= 0 {
+		c.ReadyQuorum = 1
 	}
 	if c.AuditDepth == 0 {
 		c.AuditDepth = 1024
@@ -136,6 +199,9 @@ type Result struct {
 	// Spilled marks a query served off its home shard because the home
 	// rejected it as overloaded.
 	Spilled bool
+	// Failover marks a query re-routed off a shard that failed it with an
+	// Internal-class error (as opposed to Spilled's overload).
+	Failover bool
 	// RequestID is the propagated (or generated) request id.
 	RequestID string
 }
@@ -145,11 +211,17 @@ type Result struct {
 // submit with Do, stop with Shutdown.
 type Gateway struct {
 	cfg    Config
-	shards []Instance
 	ids    []string
 	ring   *ring
 	quotas *quotas
 	audit  *auditor
+
+	// instMu guards the shard slice: the supervisor swaps a respawned
+	// instance in place while traffic flows.
+	instMu sync.RWMutex
+	shards []Instance
+
+	life *lifecycle
 
 	routeSeq atomic.Uint64 // RouteRandom stream position
 
@@ -159,24 +231,44 @@ type Gateway struct {
 
 	routed      atomic.Uint64
 	spilled     atomic.Uint64
+	failedOver  atomic.Uint64
 	quotaRej    atomic.Uint64
 	overloadRej atomic.Uint64
+	failoverExh atomic.Uint64
+	deadlineRej atomic.Uint64
 	invals      atomic.Uint64
+	invalLagged atomic.Uint64
+	ejections   atomic.Uint64
+	respawns    atomic.Uint64
+	rejoins     atomic.Uint64
 
 	tenantMu sync.Mutex
 	tenants  map[string]*tenantStats
 }
 
 // New builds a gateway running cfg.Shards in-process serve.Server shards.
+// The per-query deadline moves up a layer: the shard's DefaultTimeout is
+// lifted into the gateway's, so spill-over and failover attempts share one
+// budget instead of each attempt getting a fresh shard-level timeout.
 func New(cfg Config) *Gateway {
 	cfg = cfg.withDefaults()
+	if cfg.DefaultTimeout == 0 {
+		cfg.DefaultTimeout = cfg.Serve.DefaultTimeout
+	}
+	cfg.Serve.DefaultTimeout = 0
+	spawn := func(id string) Instance {
+		scfg := cfg.Serve
+		scfg.ShardID = id
+		return serve.New(scfg)
+	}
+	if cfg.Respawn == nil {
+		cfg.Respawn = func(_ int, id string) Instance { return spawn(id) }
+	}
 	shards := make([]Instance, cfg.Shards)
 	ids := make([]string, cfg.Shards)
 	for i := range shards {
-		scfg := cfg.Serve
-		scfg.ShardID = fmt.Sprintf("shard-%d", i)
-		ids[i] = scfg.ShardID
-		shards[i] = serve.New(scfg)
+		ids[i] = fmt.Sprintf("shard-%d", i)
+		shards[i] = spawn(ids[i])
 	}
 	return newGateway(cfg, shards, ids)
 }
@@ -213,11 +305,41 @@ func newGateway(cfg Config, shards []Instance, ids []string) *Gateway {
 	if cfg.AuditDepth > 0 {
 		g.audit = newAuditor(cfg.AuditDepth, cfg.AuditTail, cfg.AuditSink)
 	}
+	g.life = newLifecycle(g)
 	return g
 }
 
 // Shards returns the number of shards behind the gateway.
-func (g *Gateway) Shards() int { return len(g.shards) }
+func (g *Gateway) Shards() int { return len(g.ids) }
+
+// instance reads shard i's current instance (the supervisor may have
+// swapped it since the last read).
+func (g *Gateway) instance(i int) Instance {
+	g.instMu.RLock()
+	defer g.instMu.RUnlock()
+	return g.shards[i]
+}
+
+// swapInstance installs a fresh instance for shard i and returns the old
+// one (for the supervisor to shut down).
+func (g *Gateway) swapInstance(i int, fresh Instance) Instance {
+	g.instMu.Lock()
+	defer g.instMu.Unlock()
+	old := g.shards[i]
+	g.shards[i] = fresh
+	return old
+}
+
+// ProbeNow runs one synchronous probe round across every shard, applying
+// the lifecycle state machine: the manual counterpart of the background
+// prober (ProbeInterval > 0), used by tests, benches and operators.
+func (g *Gateway) ProbeNow() { g.life.probeRound() }
+
+// ShardState returns shard i's current lifecycle state.
+func (g *Gateway) ShardState(i int) ShardState { return g.life.snapshotStates()[i] }
+
+// LifecycleStates returns every shard's lifecycle state, in shard order.
+func (g *Gateway) LifecycleStates() []ShardState { return g.life.snapshotStates() }
 
 // routeKey is the ring key for a query: dataset@version, so every query
 // touching one dataset version shares a home shard (and with it the plan
@@ -260,20 +382,57 @@ func (g *Gateway) order(q serve.Query) []int {
 	x ^= x >> 27
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
-	home := int(x % uint64(len(g.shards)))
-	out := make([]int, len(g.shards))
+	home := int(x % uint64(len(g.ids)))
+	out := make([]int, len(g.ids))
 	for i := range out {
-		out[i] = (home + i) % len(g.shards)
+		out[i] = (home + i) % len(g.ids)
 	}
 	return out
 }
 
+// routable filters a preference order down to shards that take traffic
+// (healthy or suspect). Ejected and rejoining shards are skipped in place:
+// surviving shards keep their position, so only the dead shard's keys move
+// — each to the next shard in its own preference order, deterministically.
+func (g *Gateway) routable(order []int) []int {
+	states := g.life.snapshotStates()
+	out := make([]int, 0, len(order))
+	for _, s := range order {
+		if states[s].takesTraffic() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// routableOrder is the preference order Do actually walks for a query.
+func (g *Gateway) routableOrder(q serve.Query) []int {
+	return g.routable(g.order(q))
+}
+
+// ErrFailoverExhausted is the root cause inside the Internal-class error
+// returned when every failover attempt also failed.
+var ErrFailoverExhausted = errors.New("gateway: failover budget exhausted")
+
+// ErrDeadlineExhausted is the root cause inside the Canceled-class (504)
+// error returned when the query's deadline ran out across attempts.
+var ErrDeadlineExhausted = errors.New("gateway: per-query deadline exhausted")
+
+// ErrNoShards is the root cause inside the Overloaded-class (503) error
+// returned when ejections have left no routable shard for a query.
+var ErrNoShards = errors.New("gateway: no routable shards")
+
 // Do routes one request: tenant quota admission, then the home shard from
-// the ring, spilling over to the next shards in preference order (at most
-// cfg.SpillOver of them) when a shard rejects with an Overloaded-class
-// error. Every outcome — success, quota rejection, overload, failure — is
-// recorded on the audit plane with the tenant, canonical query key,
-// shard, outcome class, charged FLOP and latency.
+// the ring's routable preference order, moving to the next shard when one
+// rejects or fails — spill-over (bounded by cfg.SpillOver) on
+// Overloaded-class rejections, failover (bounded by cfg.Failover) on
+// Internal-class failures. The per-query deadline is bound once here:
+// every attempt shares the remaining budget, and exhausting it yields a
+// typed Canceled-class (504) error. Every shard outcome feeds the passive
+// failure detector, and every request outcome — success, quota rejection,
+// overload, failover exhaustion — is recorded on the audit plane with the
+// tenant, canonical query key, shard, outcome class, charged FLOP and
+// latency.
 func (g *Gateway) Do(ctx context.Context, req Request) (*Result, error) {
 	tenant := req.Tenant
 	if tenant == "" {
@@ -292,6 +451,23 @@ func (g *Gateway) Do(ctx context.Context, req Request) (*Result, error) {
 		Shard:        -1,
 	}
 
+	// Bind the deadline once, before the first attempt: spill-over and
+	// failover attempts share the remaining budget rather than each
+	// getting a fresh shard-level timeout, so a query can never exceed its
+	// deadline by straggling across the fleet. The shard-level timeout is
+	// cleared so the shard cannot re-arm a fresh one per attempt.
+	q := req.Query
+	timeout := q.Timeout
+	if timeout == 0 {
+		timeout = g.cfg.DefaultTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	q.Timeout = 0
+
 	release, err := g.quotas.admit(tenant)
 	if err != nil {
 		g.quotaRej.Add(1)
@@ -301,29 +477,61 @@ func (g *Gateway) Do(ctx context.Context, req Request) (*Result, error) {
 	}
 	defer release()
 
-	order := g.order(req.Query)
-	tries := 1 + g.cfg.SpillOver
-	if tries > len(order) {
-		tries = len(order)
+	order := g.routableOrder(q)
+	if len(order) == 0 {
+		err := &resilience.QueryError{Class: resilience.Overloaded, Stage: "route",
+			Err: ErrNoShards, RetryAfter: time.Second}
+		g.overloadRej.Add(1)
+		g.tenantFinish(tenant, 0, 0, err)
+		g.auditFinish(ev, start, err)
+		return nil, err
 	}
 	var res *serve.QueryResult
 	var lastErr error
 	shard := -1
-	for i := 0; i < tries; i++ {
-		res, lastErr = g.shards[order[i]].Do(ctx, req.Query)
-		if lastErr != nil && resilience.IsClass(lastErr, resilience.Overloaded) && i+1 < tries {
-			// Home (or previous alternate) is saturated or its breaker is
-			// open: bounded spill-over to the next shard in ring order.
+	spills, failovers := 0, 0
+	spilled, failedOver := false, false
+	for i := 0; i < len(order); i++ {
+		shard = order[i]
+		res, lastErr = g.instance(shard).Do(ctx, q)
+		g.life.observe(shard, lastErr, rid)
+		if lastErr == nil {
+			break
+		}
+		if ctx.Err() != nil || i+1 >= len(order) {
+			break
+		}
+		if resilience.IsClass(lastErr, resilience.Overloaded) && spills < g.cfg.SpillOver {
+			// Saturated or breaker-open shard: bounded spill-over to the
+			// next shard in preference order.
+			spills++
+			spilled = true
 			continue
 		}
-		shard = order[i]
+		if resilience.IsClass(lastErr, resilience.Internal) && failovers < g.cfg.Failover {
+			// Broken shard (crash, panic, abandoned producer): bounded
+			// failover to the next shard in preference order.
+			failovers++
+			failedOver = true
+			continue
+		}
 		break
 	}
 	ev.Shard = shard
-	ev.Spilled = shard != order[0]
+	ev.Spilled = spilled
+	ev.Failover = failedOver
 	latency := g.cfg.Clock().Sub(start).Seconds()
 	if lastErr != nil {
-		if resilience.IsClass(lastErr, resilience.Overloaded) {
+		switch {
+		case errors.Is(ctx.Err(), context.DeadlineExceeded):
+			g.deadlineRej.Add(1)
+			lastErr = &resilience.QueryError{Class: resilience.Canceled, Stage: "deadline",
+				Err: fmt.Errorf("%w: %w", ErrDeadlineExhausted, lastErr)}
+		case resilience.IsClass(lastErr, resilience.Internal) && failedOver:
+			g.failoverExh.Add(1)
+			lastErr = &resilience.QueryError{Class: resilience.Internal, Stage: "failover",
+				Err: fmt.Errorf("%w after %d attempt(s): %w", ErrFailoverExhausted, failovers+1, lastErr)}
+		case resilience.IsClass(lastErr, resilience.Overloaded):
 			g.overloadRej.Add(1)
 		}
 		g.tenantFinish(tenant, latency, 0, lastErr)
@@ -331,8 +539,11 @@ func (g *Gateway) Do(ctx context.Context, req Request) (*Result, error) {
 		return nil, lastErr
 	}
 	g.routed.Add(1)
-	if ev.Spilled {
+	if spilled {
 		g.spilled.Add(1)
+	}
+	if failedOver {
+		g.failedOver.Add(1)
 	}
 	ev.FLOP = res.FLOP
 	g.tenantFinish(tenant, latency, res.FLOP, nil)
@@ -341,7 +552,8 @@ func (g *Gateway) Do(ctx context.Context, req Request) (*Result, error) {
 		QueryResult: res,
 		Shard:       shard,
 		ShardID:     g.ids[shard],
-		Spilled:     ev.Spilled,
+		Spilled:     spilled,
+		Failover:    failedOver,
 		RequestID:   rid,
 	}, nil
 }
@@ -376,13 +588,16 @@ func outcomeClass(err error) string {
 }
 
 // InvalidateDataset bumps the dataset version and broadcasts the bump to
-// every shard in index order, synchronously: when it returns, every
+// every shard in index order, synchronously: when it returns, every live
 // shard's DatasetVersion(id) has reached the gateway's version, so no
-// shard can serve an intermediate cached under the old version to any
-// query admitted after the return (each shard binds the version at query
-// start and old-version cache keys are unreachable and eagerly dropped).
-// Broadcasts are serialized, so concurrent invalidations apply in one
-// global order and shard versions never diverge from the gateway's.
+// live shard can serve an intermediate cached under the old version to
+// any query admitted after the return (each shard binds the version at
+// query start and old-version cache keys are unreachable and eagerly
+// dropped). Broadcasts are serialized, so concurrent invalidations apply
+// in one global order and shard versions never diverge from the
+// gateway's. A dead shard that cannot acknowledge is left behind (the
+// catch-up is bounded, counted in stats) — it is not serving, and the
+// rejoin gate replays the catch-up before it ever takes traffic again.
 func (g *Gateway) InvalidateDataset(id string) int64 {
 	g.invMu.Lock()
 	defer g.invMu.Unlock()
@@ -390,16 +605,57 @@ func (g *Gateway) InvalidateDataset(id string) int64 {
 	g.versions[id]++
 	v := g.versions[id]
 	g.verMu.Unlock()
-	for _, sh := range g.shards {
-		// Acknowledged catch-up: a shard bumped out-of-band (direct
-		// InvalidateDataset on the instance) may already be ahead; behind
-		// ones are bumped until they reach the broadcast version.
-		for sh.DatasetVersion(id) < v {
-			sh.InvalidateDataset(id)
+	for i := range g.ids {
+		if !g.bumpToVersion(g.instance(i), id, v) {
+			g.invalLagged.Add(1)
 		}
 	}
 	g.invals.Add(1)
 	return v
+}
+
+// bumpToVersion drives one shard's dataset version up to v with an
+// acknowledged catch-up: a shard bumped out-of-band may already be ahead;
+// behind ones are bumped until they reach v. Each round must make
+// progress — a shard that stops acknowledging (dead, wedged) ends the
+// loop instead of spinning the broadcast forever. Reports whether the
+// shard reached v.
+func (g *Gateway) bumpToVersion(inst Instance, id string, v int64) bool {
+	cur := inst.DatasetVersion(id)
+	for cur < v {
+		inst.InvalidateDataset(id)
+		next := inst.DatasetVersion(id)
+		if next <= cur {
+			return false
+		}
+		cur = next
+	}
+	return true
+}
+
+// catchUp replays every dataset's broadcast version onto shard i and, if
+// the shard is fully caught up, runs admit while still holding the
+// broadcast lock — so no invalidation can slip between the version check
+// and the readmission decision. Returns whether the shard was caught up.
+func (g *Gateway) catchUp(i int, admit func() bool) bool {
+	g.invMu.Lock()
+	defer g.invMu.Unlock()
+	g.verMu.Lock()
+	versions := make(map[string]int64, len(g.versions))
+	for id, v := range g.versions {
+		versions[id] = v
+	}
+	g.verMu.Unlock()
+	inst := g.instance(i)
+	for id, v := range versions {
+		if !g.bumpToVersion(inst, id, v) {
+			return false
+		}
+	}
+	if admit != nil {
+		admit()
+	}
+	return true
 }
 
 // DatasetVersion returns the gateway's current version for a dataset id
@@ -411,11 +667,12 @@ func (g *Gateway) DatasetVersion(id string) int64 {
 }
 
 // ShardVersions reports each shard's view of a dataset version, in shard
-// order — after an InvalidateDataset returns they all equal the gateway's.
+// order — after an InvalidateDataset returns, every shard that was live
+// for the broadcast equals the gateway's.
 func (g *Gateway) ShardVersions(id string) []int64 {
-	out := make([]int64, len(g.shards))
-	for i, sh := range g.shards {
-		out[i] = sh.DatasetVersion(id)
+	out := make([]int64, len(g.ids))
+	for i := range out {
+		out[i] = g.instance(i).DatasetVersion(id)
 	}
 	return out
 }
@@ -432,51 +689,96 @@ func (g *Gateway) Audit(n int) []Event {
 // Health is the gateway's aggregate probe payload.
 type Health struct {
 	OK bool `json:"ok"`
-	// ReadyShards counts shards currently ready for traffic.
+	// ReadyShards counts shards currently ready for traffic (Readyz) or
+	// live (Healthz).
 	ReadyShards int `json:"ready_shards"`
+	// EjectedShards counts shards currently out of the routing order.
+	EjectedShards int `json:"ejected_shards,omitempty"`
+	// Quorum is the configured minimum of live shards for the gateway
+	// itself to report OK.
+	Quorum int `json:"quorum"`
+	// Lifecycle holds each shard's lifecycle state, in shard order.
+	Lifecycle []string `json:"lifecycle"`
 	// Shards holds each shard's own probe payload, in shard order.
 	Shards []serve.Health `json:"shards"`
 }
 
-// Healthz is the liveness probe: true while every shard process is live
-// (shard liveness never fails by design; this surfaces their payloads).
-func (g *Gateway) Healthz() Health {
-	h := Health{OK: true}
-	for _, sh := range g.shards {
-		h.Shards = append(h.Shards, sh.Healthz())
-	}
-	h.ReadyShards = len(h.Shards)
-	return h
+// safeProbe runs a shard probe with panic isolation so a broken instance
+// cannot take the gateway's own health endpoint down with it.
+func safeProbe(probe func() serve.Health) (h serve.Health) {
+	defer func() {
+		if r := recover(); r != nil {
+			h = serve.Health{OK: false, Status: "probe panicked"}
+		}
+	}()
+	return probe()
 }
 
-// Readyz is the readiness probe: the gateway can take traffic while at
-// least one shard admits (spill-over reaches it even for keys homed
+// timedProbe additionally bounds the probe by ProbeTimeout: a wedged
+// shard reports unhealthy instead of hanging the gateway's own endpoint.
+func (g *Gateway) timedProbe(probe func() serve.Health) serve.Health {
+	ch := make(chan serve.Health, 1)
+	go func() { ch <- safeProbe(probe) }()
+	t := time.NewTimer(g.cfg.ProbeTimeout)
+	defer t.Stop()
+	select {
+	case h := <-ch:
+		return h
+	case <-t.C:
+		return serve.Health{OK: false, Status: "probe timed out"}
+	}
+}
+
+// Healthz is the fleet liveness probe: OK while at least ReadyQuorum
+// shards are live (not ejected, passing their own liveness probe). Losing
+// quorum degrades the gateway itself to unhealthy, so orchestrators see a
+// fleet-wide outage rather than per-query failures.
+func (g *Gateway) Healthz() Health {
+	return g.fleetHealth(func(inst Instance) serve.Health { return inst.Healthz() })
+}
+
+// Readyz is the readiness probe: OK while at least ReadyQuorum routable
+// shards admit traffic (spill-over reaches them even for keys homed
 // elsewhere).
 func (g *Gateway) Readyz() Health {
-	var h Health
-	for _, sh := range g.shards {
-		shh := sh.Readyz()
-		if shh.OK {
+	return g.fleetHealth(func(inst Instance) serve.Health { return inst.Readyz() })
+}
+
+// fleetHealth aggregates one probe across the fleet under the lifecycle
+// view: ejected and rejoining shards never count toward quorum.
+func (g *Gateway) fleetHealth(probe func(Instance) serve.Health) Health {
+	states := g.life.snapshotStates()
+	h := Health{Quorum: g.cfg.ReadyQuorum}
+	for i := range g.ids {
+		inst := g.instance(i)
+		shh := g.timedProbe(func() serve.Health { return probe(inst) })
+		h.Shards = append(h.Shards, shh)
+		h.Lifecycle = append(h.Lifecycle, states[i].String())
+		if states[i] == ShardEjected {
+			h.EjectedShards++
+		}
+		if states[i].takesTraffic() && shh.OK {
 			h.ReadyShards++
 		}
-		h.Shards = append(h.Shards, shh)
 	}
-	h.OK = h.ReadyShards > 0
+	h.OK = h.ReadyShards >= h.Quorum
 	return h
 }
 
-// Shutdown drains every shard concurrently, then drains the audit queue
-// (flushing accepted events into the tail and sink). It returns the first
-// shard error, if any.
+// Shutdown stops the lifecycle monitor (and waits out its in-flight
+// respawn cleanups), drains every shard concurrently, then drains the
+// audit queue (flushing accepted events into the tail and sink). It
+// returns the first shard error, if any.
 func (g *Gateway) Shutdown(ctx context.Context) error {
+	g.life.shutdown()
 	var wg sync.WaitGroup
-	errs := make([]error, len(g.shards))
-	for i, sh := range g.shards {
+	errs := make([]error, len(g.ids))
+	for i := range g.ids {
 		wg.Add(1)
 		go func(i int, sh Instance) {
 			defer wg.Done()
 			errs[i] = sh.Shutdown(ctx)
-		}(i, sh)
+		}(i, g.instance(i))
 	}
 	wg.Wait()
 	if g.audit != nil {

@@ -18,11 +18,16 @@ type fakeShard struct {
 
 	mu         sync.Mutex
 	served     int
+	attempts   int
 	datasets   []string
 	versions   map[string]int64
 	invalOrder *[]string // shared recorder: "shardID" appended per invalidation
 	overloaded bool
 	fail       error
+	down       bool // liveness: Do fails Internal, Healthz reports not-OK
+	noAck      bool // drop invalidations (a shard that stopped acknowledging)
+	deadlines  []time.Time // ctx deadline observed per Do attempt (zero when none)
+	timeouts   []time.Duration // q.Timeout observed per Do attempt
 }
 
 func newFakeShard(id string) *fakeShard {
@@ -32,6 +37,13 @@ func newFakeShard(id string) *fakeShard {
 func (f *fakeShard) Do(ctx context.Context, q serve.Query) (*serve.QueryResult, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	f.attempts++
+	dl, _ := ctx.Deadline()
+	f.deadlines = append(f.deadlines, dl)
+	f.timeouts = append(f.timeouts, q.Timeout)
+	if f.down {
+		return nil, &resilience.QueryError{Class: resilience.Internal, Stage: "shard", Err: ErrShardDown}
+	}
 	if f.overloaded {
 		return nil, &resilience.QueryError{Class: resilience.Overloaded, Stage: "admission", Err: serve.ErrOverloaded}
 	}
@@ -46,6 +58,9 @@ func (f *fakeShard) Do(ctx context.Context, q serve.Query) (*serve.QueryResult, 
 func (f *fakeShard) InvalidateDataset(id string) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.noAck || f.down {
+		return
+	}
 	f.versions[id]++
 	if f.invalOrder != nil {
 		*f.invalOrder = append(*f.invalOrder, f.id)
@@ -64,7 +79,14 @@ func (f *fakeShard) Metrics() serve.Snapshot {
 	return serve.Snapshot{Shard: f.id, Completed: uint64(f.served)}
 }
 
-func (f *fakeShard) Healthz() serve.Health { return serve.Health{OK: true, Status: "serving"} }
+func (f *fakeShard) Healthz() serve.Health {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down {
+		return serve.Health{OK: false, Status: "dead"}
+	}
+	return serve.Health{OK: true, Status: "serving"}
+}
 func (f *fakeShard) Readyz() serve.Health {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -82,6 +104,24 @@ func (f *fakeShard) setOverloaded(v bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.overloaded = v
+}
+
+func (f *fakeShard) setDown(v bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.down = v
+}
+
+func (f *fakeShard) setNoAck(v bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.noAck = v
+}
+
+func (f *fakeShard) attemptCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.attempts
 }
 
 func fakeFleet(n int) ([]Instance, []*fakeShard) {

@@ -1,0 +1,180 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"remac/internal/resilience"
+	"remac/internal/serve"
+)
+
+// ErrShardDown is the root cause inside the Internal-class error a killed
+// Killable returns for every query.
+var ErrShardDown = errors.New("gateway: shard down")
+
+// KillMode selects how a killed Killable misbehaves.
+type KillMode int
+
+const (
+	// KillErrors makes the shard fail fast: every Do returns an
+	// Internal-class error and probes report not-OK — a crashed process.
+	KillErrors KillMode = iota
+	// KillHang makes the shard wedge: Do and probes block until the shard
+	// is revived or shut down — a deadlocked or partitioned process. The
+	// gateway's probe timeout is what detects this mode.
+	KillHang
+)
+
+// Killable wraps an Instance with a kill switch for chaos tests and the
+// failover bench: Kill makes the shard fail or hang, Revive restores it.
+// While dead the shard stops acknowledging invalidations (a crashed
+// process cannot), so its dataset versions fall behind the broadcast —
+// exactly the staleness the rejoin catch-up gate exists to repair.
+type Killable struct {
+	mu     sync.Mutex
+	inner  Instance
+	dead   bool
+	mode   KillMode
+	revive chan struct{} // non-nil while dead; closed by Revive/Shutdown
+	closed chan struct{}
+}
+
+// NewKillable wraps an instance; it starts alive.
+func NewKillable(inner Instance) *Killable {
+	return &Killable{inner: inner, closed: make(chan struct{})}
+}
+
+// Inner returns the wrapped instance.
+func (k *Killable) Inner() Instance {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.inner
+}
+
+// Kill takes the shard down in the given mode. Idempotent while dead.
+func (k *Killable) Kill(mode KillMode) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.dead {
+		k.mode = mode
+		return
+	}
+	k.dead = true
+	k.mode = mode
+	k.revive = make(chan struct{})
+}
+
+// Revive brings the shard back; callers blocked in hang mode resume
+// against the live instance.
+func (k *Killable) Revive() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if !k.dead {
+		return
+	}
+	k.dead = false
+	close(k.revive)
+	k.revive = nil
+}
+
+// state snapshots the kill switch.
+func (k *Killable) state() (dead bool, mode KillMode, revive chan struct{}) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.dead, k.mode, k.revive
+}
+
+// Do serves through the inner instance while alive; dead shards fail with
+// a typed Internal-class error (KillErrors) or block until revived,
+// canceled or shut down (KillHang).
+func (k *Killable) Do(ctx context.Context, q serve.Query) (*serve.QueryResult, error) {
+	dead, mode, revive := k.state()
+	if !dead {
+		return k.Inner().Do(ctx, q)
+	}
+	if mode == KillErrors {
+		return nil, &resilience.QueryError{Class: resilience.Internal, Stage: "shard", Err: ErrShardDown}
+	}
+	select {
+	case <-revive:
+		return k.Inner().Do(ctx, q)
+	case <-ctx.Done():
+		return nil, &resilience.QueryError{Class: resilience.Canceled, Stage: "shard",
+			Err: fmt.Errorf("gateway: hung shard: %w", ctx.Err())}
+	case <-k.closed:
+		return nil, &resilience.QueryError{Class: resilience.Internal, Stage: "shard", Err: ErrShardDown}
+	}
+}
+
+// Healthz reports the inner probe while alive; dead shards report not-OK
+// (KillErrors) or block like a wedged process (KillHang) until revived or
+// shut down — the gateway's probe timeout converts the block into a
+// liveness failure.
+func (k *Killable) Healthz() serve.Health {
+	dead, mode, revive := k.state()
+	if !dead {
+		return k.Inner().Healthz()
+	}
+	if mode == KillErrors {
+		return serve.Health{OK: false, Status: "dead"}
+	}
+	select {
+	case <-revive:
+		return k.Inner().Healthz()
+	case <-k.closed:
+		return serve.Health{OK: false, Status: "dead"}
+	}
+}
+
+// Readyz mirrors Healthz's kill behavior.
+func (k *Killable) Readyz() serve.Health {
+	dead, mode, revive := k.state()
+	if !dead {
+		return k.Inner().Readyz()
+	}
+	if mode == KillErrors {
+		return serve.Health{OK: false, Status: "dead"}
+	}
+	select {
+	case <-revive:
+		return k.Inner().Readyz()
+	case <-k.closed:
+		return serve.Health{OK: false, Status: "dead"}
+	}
+}
+
+// InvalidateDataset is dropped while dead — a crashed process cannot
+// acknowledge a broadcast. The version gap this opens is what the rejoin
+// catch-up closes before readmission.
+func (k *Killable) InvalidateDataset(id string) {
+	dead, _, _ := k.state()
+	if dead {
+		return
+	}
+	k.Inner().InvalidateDataset(id)
+}
+
+// DatasetVersion reads through to the inner instance: it is the
+// supervisor's last known state for the shard, readable even while the
+// shard itself is down.
+func (k *Killable) DatasetVersion(id string) int64 { return k.Inner().DatasetVersion(id) }
+
+// Metrics reads through to the inner instance.
+func (k *Killable) Metrics() serve.Snapshot { return k.Inner().Metrics() }
+
+// Shutdown releases any hang-blocked callers and stops the inner
+// instance.
+func (k *Killable) Shutdown(ctx context.Context) error {
+	k.mu.Lock()
+	select {
+	case <-k.closed:
+	default:
+		close(k.closed)
+	}
+	k.mu.Unlock()
+	return k.Inner().Shutdown(ctx)
+}
+
+var _ Instance = (*Killable)(nil)

@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"testing"
@@ -76,6 +77,95 @@ func TestRingVersionStableWithinVersion(t *testing.T) {
 			if got := r.order(key)[0]; got != first {
 				t.Fatalf("key %q: home flapped %d -> %d", key, first, got)
 			}
+		}
+	}
+}
+
+// ejectByProbes drives a gateway's shard to ejected via failed probes.
+func ejectByProbes(t *testing.T, g *Gateway, fakes []*fakeShard, victim int) {
+	t.Helper()
+	fakes[victim].setDown(true)
+	for i := 0; i < 3 && g.ShardState(victim) != ShardEjected; i++ {
+		g.ProbeNow()
+	}
+	if got := g.ShardState(victim); got != ShardEjected {
+		t.Fatalf("victim %d state %v after probe budget, want ejected", victim, got)
+	}
+}
+
+// TestEjectionRedistributionDeterministic: ejecting a shard moves only
+// that shard's keys — each to the next shard in its own preference order
+// — while every surviving shard's keys keep their placement; two gateways
+// with identical config and ejection history route identically; and
+// rejoin restores the original placement exactly.
+func TestEjectionRedistributionDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, EjectAfter: 1, RejoinProbes: 1, PassiveFailures: -1}
+	build := func() (*Gateway, []*fakeShard) {
+		insts, fakes := fakeFleet(4)
+		return NewWithInstances(cfg, insts), fakes
+	}
+	g1, f1 := build()
+	defer g1.Shutdown(context.Background())
+	g2, f2 := build()
+	defer g2.Shutdown(context.Background())
+
+	keys := make([]string, 40)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("ds-%d", i)
+	}
+	baseHome := map[string]int{}
+	baseOrder := map[string][]int{}
+	for _, key := range keys {
+		order := g1.routableOrder(gatewayQuery(key))
+		baseHome[key] = order[0]
+		baseOrder[key] = order
+	}
+
+	victim := 2
+	ejectByProbes(t, g1, f1, victim)
+	ejectByProbes(t, g2, f2, victim)
+
+	moved := 0
+	for _, key := range keys {
+		o1 := g1.routableOrder(gatewayQuery(key))
+		o2 := g2.routableOrder(gatewayQuery(key))
+		if !reflect.DeepEqual(o1, o2) {
+			t.Fatalf("key %q: identical gateways diverged after identical ejection history: %v vs %v", key, o1, o2)
+		}
+		if baseHome[key] != victim {
+			// Surviving-shard keys never move.
+			if o1[0] != baseHome[key] {
+				t.Fatalf("key %q homed on surviving shard %d moved to %d", key, baseHome[key], o1[0])
+			}
+			continue
+		}
+		// The ejected shard's keys move to the next preference — nothing
+		// random, nothing rebalanced wholesale.
+		moved++
+		if want := baseOrder[key][1]; o1[0] != want {
+			t.Fatalf("key %q: ejected home %d should hand off to next preference %d, got %d", key, victim, want, o1[0])
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key homed on the victim; test covers nothing")
+	}
+
+	// Rejoin restores the original placement bit for bit.
+	for _, pair := range []struct {
+		g *Gateway
+		f []*fakeShard
+	}{{g1, f1}, {g2, f2}} {
+		pair.f[victim].setDown(false)
+		for i := 0; i < 3 && pair.g.ShardState(victim) != ShardHealthy; i++ {
+			pair.g.ProbeNow()
+		}
+		if got := pair.g.ShardState(victim); got != ShardHealthy {
+			t.Fatalf("victim state %v after rejoin probes, want healthy", got)
+		}
+	}
+	for _, key := range keys {
+		if got := g1.routableOrder(gatewayQuery(key)); !reflect.DeepEqual(got, baseOrder[key]) {
+			t.Fatalf("key %q: rejoin did not restore original order %v, got %v", key, baseOrder[key], got)
 		}
 	}
 }

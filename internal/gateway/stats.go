@@ -68,11 +68,13 @@ type TenantStats struct {
 	LatencyP95Sec float64 `json:"latency_p95_sec"`
 }
 
-// ShardStats pairs a shard's identity with its metrics snapshot.
+// ShardStats pairs a shard's identity with its metrics snapshot and
+// lifecycle view.
 type ShardStats struct {
-	Shard    int            `json:"shard"`
-	ID       string         `json:"id"`
-	Snapshot serve.Snapshot `json:"snapshot"`
+	Shard     int            `json:"shard"`
+	ID        string         `json:"id"`
+	Lifecycle ShardLifecycle `json:"lifecycle"`
+	Snapshot  serve.Snapshot `json:"snapshot"`
 }
 
 // Stats is the gateway's aggregate /stats payload: routing counters, the
@@ -80,15 +82,30 @@ type ShardStats struct {
 type Stats struct {
 	Shards int `json:"shards"`
 	// Routed counts successfully served queries; Spilled the subset served
-	// off their home shard.
-	Routed  uint64 `json:"routed"`
-	Spilled uint64 `json:"spilled"`
+	// off their home shard; FailedOver the subset re-routed off a failed
+	// shard.
+	Routed     uint64 `json:"routed"`
+	Spilled    uint64 `json:"spilled"`
+	FailedOver uint64 `json:"failed_over"`
 	// QuotaRejected counts tenant-quota denials (429); OverloadRejected
-	// counts whole-tier overload failures that exhausted spill-over (503).
-	QuotaRejected    uint64 `json:"quota_rejected"`
-	OverloadRejected uint64 `json:"overload_rejected"`
-	// Invalidations counts acknowledged invalidation broadcasts.
-	Invalidations uint64 `json:"invalidations"`
+	// counts whole-tier overload failures that exhausted spill-over (503);
+	// FailoverExhausted counts queries whose every failover attempt also
+	// failed; DeadlineExceeded counts queries whose per-query deadline ran
+	// out across attempts (504).
+	QuotaRejected     uint64 `json:"quota_rejected"`
+	OverloadRejected  uint64 `json:"overload_rejected"`
+	FailoverExhausted uint64 `json:"failover_exhausted"`
+	DeadlineExceeded  uint64 `json:"deadline_exceeded"`
+	// Invalidations counts acknowledged invalidation broadcasts;
+	// InvalidationsLagged counts shard catch-ups that a dead shard failed
+	// to acknowledge (repaired by the rejoin gate before readmission).
+	Invalidations       uint64 `json:"invalidations"`
+	InvalidationsLagged uint64 `json:"invalidations_lagged"`
+	// Ejections / Respawns / Rejoins count lifecycle transitions across
+	// the fleet.
+	Ejections uint64 `json:"ejections"`
+	Respawns  uint64 `json:"respawns"`
+	Rejoins   uint64 `json:"rejoins"`
 	// AuditWritten / AuditDropped report audit-plane flow; drops mean the
 	// queue is undersized for the traffic.
 	AuditWritten uint64 `json:"audit_written"`
@@ -106,21 +123,30 @@ type Stats struct {
 // per-shard), the routing and audit counters, and per-tenant breakdowns.
 func (g *Gateway) Stats() Stats {
 	st := Stats{
-		Shards:           len(g.shards),
-		Routed:           g.routed.Load(),
-		Spilled:          g.spilled.Load(),
-		QuotaRejected:    g.quotaRej.Load(),
-		OverloadRejected: g.overloadRej.Load(),
-		Invalidations:    g.invals.Load(),
-		Tenants:          map[string]TenantStats{},
+		Shards:              len(g.ids),
+		Routed:              g.routed.Load(),
+		Spilled:             g.spilled.Load(),
+		FailedOver:          g.failedOver.Load(),
+		QuotaRejected:       g.quotaRej.Load(),
+		OverloadRejected:    g.overloadRej.Load(),
+		FailoverExhausted:   g.failoverExh.Load(),
+		DeadlineExceeded:    g.deadlineRej.Load(),
+		Invalidations:       g.invals.Load(),
+		InvalidationsLagged: g.invalLagged.Load(),
+		Ejections:           g.ejections.Load(),
+		Respawns:            g.respawns.Load(),
+		Rejoins:             g.rejoins.Load(),
+		Tenants:             map[string]TenantStats{},
 	}
 	if g.audit != nil {
 		st.AuditWritten, st.AuditDropped = g.audit.counters()
 	}
-	snaps := make([]serve.Snapshot, len(g.shards))
-	for i, sh := range g.shards {
-		snaps[i] = sh.Metrics()
-		st.PerShard = append(st.PerShard, ShardStats{Shard: i, ID: g.ids[i], Snapshot: snaps[i]})
+	snaps := make([]serve.Snapshot, len(g.ids))
+	for i := range snaps {
+		snaps[i] = g.instance(i).Metrics()
+		st.PerShard = append(st.PerShard, ShardStats{
+			Shard: i, ID: g.ids[i], Lifecycle: g.life.view(i), Snapshot: snaps[i],
+		})
 	}
 	st.Merged = serve.MergeSnapshots(snaps...)
 	g.tenantMu.Lock()

@@ -81,10 +81,12 @@ type QueryResponse struct {
 	SelectedKeys     []string                `json:"selected_keys,omitempty"`
 
 	// RequestID echoes the request correlation id; the gateway also
-	// reports which shard served the query and whether it spilled.
+	// reports which shard served the query and whether it spilled
+	// (overload re-route) or failed over (dead-shard re-route).
 	RequestID string `json:"request_id,omitempty"`
 	Shard     string `json:"shard,omitempty"`
 	Spilled   bool   `json:"spilled,omitempty"`
+	Failover  bool   `json:"failover,omitempty"`
 }
 
 // BuildResponse summarizes a query result for the wire.

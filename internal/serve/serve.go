@@ -500,6 +500,19 @@ func (s *Server) recordOutcome(err error) {
 // failures re-execute after a capped, seeded backoff until attempts or the
 // backoff budget run out.
 func (s *Server) run(j *job) (*QueryResult, error) {
+	// The per-query deadline is bound once, before the first attempt:
+	// retries, backoff sleeps and the hedged duplicate all share its
+	// remaining budget (their contexts derive from j.ctx), so a query can
+	// never exceed its deadline by straggling through the retry loop.
+	timeout := j.q.Timeout
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > 0 {
+		ctx, cancel := context.WithTimeout(j.ctx, timeout)
+		defer cancel()
+		j.ctx = ctx
+	}
 	policy := s.cfg.Retry.WithDefaults()
 	var slept time.Duration
 	var lastErr error
@@ -668,15 +681,6 @@ func (s *Server) classify(id uint64, stage string, err error) error {
 // (compile vs execution vs canceled vs max-iterations).
 func (s *Server) execute(ctx context.Context, j *job) (out *QueryResult, err error) {
 	q := j.q
-	timeout := q.Timeout
-	if timeout == 0 {
-		timeout = s.cfg.DefaultTimeout
-	}
-	if timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-		defer cancel()
-	}
 	if q.Iterations == 0 {
 		q.Iterations = 15
 	}

@@ -670,3 +670,42 @@ func TestStrategyDistinguishesPlans(t *testing.T) {
 		t.Error("plan cached under Adaptive served a NoElimination query")
 	}
 }
+
+// TestRetriesShareQueryDeadline: the per-query deadline is bound once
+// before the first attempt, so retries and their backoff sleeps spend the
+// same budget. A 50ms query whose every attempt fails transiently must
+// fail Canceled as soon as the deadline lands in the first 200ms backoff —
+// not grind through seconds of per-attempt timeouts.
+func TestRetriesShareQueryDeadline(t *testing.T) {
+	s := New(Config{
+		Workers: 1,
+		Retry: resilience.RetryPolicy{
+			MaxAttempts: 5,
+			BaseBackoff: 200 * time.Millisecond,
+			MaxBackoff:  200 * time.Millisecond,
+			Budget:      5 * time.Second,
+		},
+	})
+	defer s.Shutdown(context.Background())
+
+	q := testQuery(t, algorithms.GD, "cri1", 1)
+	q.Timeout = 50 * time.Millisecond
+	q.Probe = func(int) error {
+		return resilience.MarkTransient(errors.New("induced transient failure"))
+	}
+
+	start := time.Now()
+	_, err := s.Do(context.Background(), q)
+	elapsed := time.Since(start)
+	if !errors.Is(err, engine.ErrCanceled) {
+		t.Fatalf("deadline-bounded retries: got %v, want ErrCanceled", err)
+	}
+	if !resilience.IsClass(err, resilience.Canceled) {
+		t.Fatalf("deadline-bounded retries: error class not Canceled: %v", err)
+	}
+	// Generous bound: one backoff at most, never the 800ms+ of summed
+	// backoffs a per-attempt deadline would allow.
+	if elapsed > 700*time.Millisecond {
+		t.Fatalf("query outlived its deadline: took %v with a 50ms budget", elapsed)
+	}
+}
