@@ -13,6 +13,18 @@
 //	    -quota noisy=0.5:1:1 -quota batch=10:20:8    # per-tenant quotas
 //	remac-gateway -shards 4 -failover 2 \
 //	    -probe-interval 500ms -eject-after 2         # aggressive failover
+//	remac-gateway -shards 0 \
+//	    -shard http://10.0.0.2:8356 \
+//	    -shard http://10.0.0.3:8356                  # remote shard fleet
+//
+// Remote shards (-shard URLs, repeatable) are remac-serve processes the
+// gateway reaches over HTTP: queries, health probes, invalidation fan-out
+// and version catch-up all travel the wire, with per-attempt timeouts
+// carved from the query deadline, a gateway-wide retry budget
+// (-retry-budget / -retry-refill), and idempotency keys so a retried
+// query whose response was lost replays the committed result instead of
+// executing twice. Mixed fleets (-shards N -shard URL...) put local and
+// remote instances behind the same ring and lifecycle monitor.
 //
 // Endpoints:
 //
@@ -65,6 +77,9 @@ import (
 type handler struct {
 	gw      *gateway.Gateway
 	builder *httpapi.QueryBuilder
+	// maxBody caps POST /query bodies (0: httpapi.MaxQueryBodyBytes;
+	// negative: unbounded).
+	maxBody int64
 }
 
 func (h *handler) query(w http.ResponseWriter, r *http.Request) {
@@ -73,15 +88,20 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	var req httpapi.QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpapi.WriteError(w, rid, &resilience.QueryError{Class: resilience.Compile, Stage: "request", Err: err})
+	req, ok := httpapi.DecodeQuery(w, r, rid, h.maxBody)
+	if !ok {
 		return
 	}
 	q, err := h.builder.Build(req)
 	if err != nil {
 		httpapi.WriteError(w, rid, &resilience.QueryError{Class: resilience.Compile, Stage: "request", Err: err})
 		return
+	}
+	// A client-pinned idempotency key survives client-side retries across
+	// gateway connections; without one, the gateway stamps the request id
+	// so its own spill-over/failover retries stay replay-safe.
+	if key := strings.TrimSpace(r.Header.Get(httpapi.IdempotencyKeyHeader)); key != "" {
+		q.IdempotencyKey = key
 	}
 	res, err := h.gw.Do(r.Context(), gateway.Request{
 		Tenant:    httpapi.Tenant(r, req),
@@ -260,6 +280,20 @@ func main() {
 		return nil
 	})
 	defaultQuota := flag.String("default-quota", "", "quota for tenants without a -quota entry: qps[:burst[:concurrent]] (empty: unlimited)")
+	var remotes []string
+	flag.Func("shard", "remote shard base URL, e.g. http://host:8356 (repeatable; joins the fleet alongside the -shards in-process instances)", func(u string) error {
+		u = strings.TrimSpace(u)
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return fmt.Errorf("shard %q: want an http(s) base URL", u)
+		}
+		remotes = append(remotes, u)
+		return nil
+	})
+	maxBody := flag.Int64("max-body", 0, "max POST /query body bytes (0: 1 MiB default, negative: unbounded)")
+	retryBudget := flag.Float64("retry-budget", 64, "gateway-wide wire retry budget: token bucket capacity shared by all remote shards (<=0: default 64)")
+	retryRefill := flag.Float64("retry-refill", 0.1, "retry budget tokens restored per successful wire query")
+	attemptTimeout := flag.Duration("attempt-timeout", 10*time.Second, "per-attempt wire timeout for remote shards (carved from the query deadline)")
+	wireRetries := flag.Int("wire-retries", 2, "wire-level retries per query against a remote shard (negative: disabled)")
 	flag.Parse()
 
 	recovery, err := engine.ParseRecovery(*recoveryFlag)
@@ -273,7 +307,7 @@ func main() {
 		}
 	}
 
-	gw := gateway.New(gateway.Config{
+	gcfg := gateway.Config{
 		Shards:          *shards,
 		VirtualNodes:    *vnodes,
 		Seed:            *seed,
@@ -296,8 +330,57 @@ func main() {
 			IntermediateBudgetBytes: *interBudget,
 			BatchWindow:             *batchWindow,
 		},
-	})
-	h := &handler{gw: gw, builder: httpapi.NewQueryBuilder(recovery)}
+	}
+	var gw *gateway.Gateway
+	if len(remotes) == 0 {
+		gw = gateway.New(gcfg)
+	} else {
+		// Mixed fleet: -shards in-process instances plus one RemoteInstance
+		// per -shard URL, all behind the same ring, lifecycle monitor and
+		// wire retry budget. The deadline lift New() performs is replicated
+		// here: shard-level timeouts move up into the gateway's so every
+		// spill-over/failover attempt shares one budget.
+		if gcfg.DefaultTimeout == 0 {
+			gcfg.DefaultTimeout = gcfg.Serve.DefaultTimeout
+		}
+		gcfg.Serve.DefaultTimeout = 0
+		budget := gateway.NewRetryBudget(*retryBudget, *retryRefill)
+		spawnLocal := func(id string) gateway.Instance {
+			scfg := gcfg.Serve
+			scfg.ShardID = id
+			return serve.New(scfg)
+		}
+		spawnRemote := func(baseURL, id string) gateway.Instance {
+			return gateway.NewRemote(gateway.RemoteConfig{
+				BaseURL:        baseURL,
+				ShardID:        id,
+				AttemptTimeout: *attemptTimeout,
+				Retries:        *wireRetries,
+				Budget:         budget,
+			})
+		}
+		locals := *shards
+		if locals < 0 {
+			locals = 0
+		}
+		instances := make([]gateway.Instance, 0, locals+len(remotes))
+		for i := 0; i < locals; i++ {
+			instances = append(instances, spawnLocal(fmt.Sprintf("shard-%d", i)))
+		}
+		for _, u := range remotes {
+			instances = append(instances, spawnRemote(u, ""))
+		}
+		gcfg.Respawn = func(shard int, id string) gateway.Instance {
+			if shard < locals {
+				return spawnLocal(id)
+			}
+			// A remote respawn is a fresh client against the same URL —
+			// the process out there has its own supervisor.
+			return spawnRemote(remotes[shard-locals], id)
+		}
+		gw = gateway.NewWithInstances(gcfg, instances)
+	}
+	h := &handler{gw: gw, builder: httpapi.NewQueryBuilder(recovery), maxBody: *maxBody}
 	httpSrv := &http.Server{Addr: *addr, Handler: newMux(h)}
 
 	errc := make(chan error, 1)

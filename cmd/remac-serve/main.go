@@ -1,7 +1,9 @@
 // remac-serve exposes the concurrent query-serving subsystem
 // (internal/serve) over HTTP: a thin stdlib JSON front-end for submitting
 // DML workloads against the generated datasets and reading aggregate
-// server metrics.
+// server metrics. The route wiring lives in httpapi.NewServeMux, shared
+// with the gateway's remote-shard transport, so a RemoteInstance always
+// talks to exactly the handler this binary runs.
 //
 // Usage:
 //
@@ -16,6 +18,9 @@
 //	              Optional: "strategy" ("adaptive", "none", "explicit",
 //	              "conservative", "aggressive", "automatic"),
 //	              "timeout_ms", "no_plan_cache", "no_intermediate_cache".
+//	              Bodies are capped (-max-body, default 1 MiB → 413); an
+//	              X-Idempotency-Key header makes retried submissions
+//	              replay the committed result instead of re-executing.
 //	GET  /stats   aggregate metrics snapshot (QPS, latency percentiles,
 //	              cache hit rates, queue depth, resilience counters) as JSON.
 //	GET  /healthz liveness probe: 200 while the process and pool are up.
@@ -24,6 +29,8 @@
 //	POST /invalidate?dataset=cri2  bump a dataset version, dropping its
 //	              cached intermediates. Non-POST methods get 405; a missing
 //	              or blank dataset parameter gets 400.
+//	GET  /version?dataset=cri2  read the dataset's current version — the
+//	              acknowledgment a gateway's invalidation catch-up polls.
 //
 // Every response echoes an X-Request-ID header — the client's, or a
 // generated one — and failed queries carry it in their JSON bodies too, so
@@ -31,25 +38,23 @@
 // audit plane.
 //
 // Query failures map to distinct statuses by resilience class: 400 for
-// compile errors, 422 for divergent loops (max iterations), 503 with a
-// Retry-After header for overload/shed/draining, 504 for canceled or
-// timed-out queries, and 500 only for execution failures and recovered
-// panics. Error bodies are structured JSON ({"error", "class", "query_id",
-// "stage", "retry_after_sec", "request_id"}).
+// compile errors, 413 for oversized bodies, 422 for divergent loops (max
+// iterations), 503 with a Retry-After header for overload/shed/draining,
+// 504 for canceled or timed-out queries, and 500 only for execution
+// failures and recovered panics. Error bodies are structured JSON
+// ({"error", "class", "query_id", "stage", "retry_after_sec",
+// "request_id"}).
 //
 // SIGINT/SIGTERM stop admission, drain in-flight queries, then exit.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
@@ -58,112 +63,6 @@ import (
 	"remac/internal/resilience"
 	"remac/internal/serve"
 )
-
-// handler adapts the in-process serve API to HTTP.
-type handler struct {
-	srv     *serve.Server
-	builder *httpapi.QueryBuilder
-}
-
-func (h *handler) query(w http.ResponseWriter, r *http.Request) {
-	rid := httpapi.RequestID(r)
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
-		return
-	}
-	var req httpapi.QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpapi.WriteError(w, rid, &resilience.QueryError{Class: resilience.Compile, Stage: "request", Err: err})
-		return
-	}
-	q, err := h.builder.Build(req)
-	if err != nil {
-		httpapi.WriteError(w, rid, &resilience.QueryError{Class: resilience.Compile, Stage: "request", Err: err})
-		return
-	}
-	res, err := h.srv.Do(r.Context(), q)
-	if err != nil {
-		httpapi.WriteError(w, rid, err)
-		return
-	}
-	resp := httpapi.BuildResponse(res)
-	resp.RequestID = rid
-	httpapi.WriteJSON(w, rid, resp)
-}
-
-func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
-	rid := httpapi.RequestID(r)
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
-		return
-	}
-	httpapi.WriteJSON(w, rid, h.srv.Healthz())
-}
-
-func (h *handler) readyz(w http.ResponseWriter, r *http.Request) {
-	rid := httpapi.RequestID(r)
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
-		return
-	}
-	hz := h.srv.Readyz()
-	if !hz.OK {
-		if hz.RetryAfterSec > 0 {
-			secs := int(hz.RetryAfterSec)
-			if secs < 1 {
-				secs = 1
-			}
-			w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
-		}
-		w.Header().Set(httpapi.RequestIDHeader, rid)
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusServiceUnavailable)
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(hz); err != nil {
-			log.Printf("encode readyz: %v", err)
-		}
-		return
-	}
-	httpapi.WriteJSON(w, rid, hz)
-}
-
-func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
-	rid := httpapi.RequestID(r)
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
-		return
-	}
-	httpapi.WriteJSON(w, rid, h.srv.Metrics())
-}
-
-func (h *handler) invalidate(w http.ResponseWriter, r *http.Request) {
-	rid := httpapi.RequestID(r)
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
-		return
-	}
-	ds := strings.TrimSpace(r.URL.Query().Get("dataset"))
-	if ds == "" {
-		httpapi.WriteError(w, rid, &resilience.QueryError{
-			Class: resilience.Compile, Stage: "request", Err: fmt.Errorf("dataset parameter required"),
-		})
-		return
-	}
-	h.srv.InvalidateDataset(ds)
-	httpapi.WriteJSON(w, rid, map[string]any{"dataset": ds, "version": h.srv.DatasetVersion(ds)})
-}
-
-// newMux wires the handler's routes (shared with the tests).
-func newMux(h *handler) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/query", h.query)
-	mux.HandleFunc("/stats", h.stats)
-	mux.HandleFunc("/healthz", h.healthz)
-	mux.HandleFunc("/readyz", h.readyz)
-	mux.HandleFunc("/invalidate", h.invalidate)
-	return mux
-}
 
 func main() {
 	addr := flag.String("addr", ":8356", "listen address")
@@ -178,6 +77,8 @@ func main() {
 	noBreaker := flag.Bool("no-breaker", false, "disable the admission circuit breaker / load shedder")
 	recoveryFlag := flag.String("recovery", "", "default recovery policy for queries that do not set one: lineage, checkpoint, coded or coded:k,n")
 	shard := flag.String("shard", "", "shard label for this instance in metrics snapshots (set by a gateway tier)")
+	idemEntries := flag.Int("idem-window", 0, "idempotent-replay window entries (0: default 1024, negative: disabled)")
+	maxBody := flag.Int64("max-body", 0, "max POST /query body bytes (0: 1 MiB default, negative: unbounded)")
 	flag.Parse()
 
 	recovery, err := engine.ParseRecovery(*recoveryFlag)
@@ -196,9 +97,12 @@ func main() {
 		Hedge:                   resilience.HedgePolicy{Enabled: *hedge},
 		NoBreaker:               *noBreaker,
 		ShardID:                 *shard,
+		IdempotencyWindow:       *idemEntries,
 	})
-	h := &handler{srv: srv, builder: httpapi.NewQueryBuilder(recovery)}
-	httpSrv := &http.Server{Addr: *addr, Handler: newMux(h)}
+	mux := httpapi.NewServeMux(srv, httpapi.NewQueryBuilder(recovery), httpapi.ServeHandlerConfig{
+		MaxBodyBytes: *maxBody,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()

@@ -13,12 +13,14 @@ import (
 	"remac/internal/serve"
 )
 
-func testHandler(t *testing.T) (*handler, *http.ServeMux) {
+// testHandler builds the same mux main() serves, over an in-process
+// server the assertions can read directly.
+func testHandler(t *testing.T) (*serve.Server, *http.ServeMux) {
 	t.Helper()
 	srv := serve.New(serve.Config{Workers: 2})
 	t.Cleanup(func() { srv.Shutdown(context.Background()) })
-	h := &handler{srv: srv, builder: httpapi.NewQueryBuilder(engine.RecoveryPolicy{})}
-	return h, newMux(h)
+	mux := httpapi.NewServeMux(srv, httpapi.NewQueryBuilder(engine.RecoveryPolicy{}), httpapi.ServeHandlerConfig{})
+	return srv, mux
 }
 
 // TestInvalidateRejectsNonPOST: GET/PUT/DELETE on /invalidate are 405.
@@ -37,7 +39,7 @@ func TestInvalidateRejectsNonPOST(t *testing.T) {
 // empty, or whitespace — is 400 with a structured JSON body carrying the
 // request id; nothing is invalidated.
 func TestInvalidateRejectsMissingDataset(t *testing.T) {
-	h, mux := testHandler(t)
+	srv, mux := testHandler(t)
 	for _, target := range []string{"/invalidate", "/invalidate?dataset=", "/invalidate?dataset=%20%20"} {
 		rec := httptest.NewRecorder()
 		req := httptest.NewRequest(http.MethodPost, target, nil)
@@ -55,7 +57,7 @@ func TestInvalidateRejectsMissingDataset(t *testing.T) {
 			t.Errorf("POST %s: error body %+v lacks request id or message", target, body)
 		}
 	}
-	if v := h.srv.DatasetVersion(""); v != 0 {
+	if v := srv.DatasetVersion(""); v != 0 {
 		t.Fatalf("rejected invalidation still bumped a version: %d", v)
 	}
 }
@@ -63,7 +65,7 @@ func TestInvalidateRejectsMissingDataset(t *testing.T) {
 // TestInvalidateBumpsVersion: a valid POST bumps the dataset version
 // (whitespace around the name is trimmed) and reports it.
 func TestInvalidateBumpsVersion(t *testing.T) {
-	h, mux := testHandler(t)
+	srv, mux := testHandler(t)
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/invalidate?dataset=%20cri1%20", nil))
 	if rec.Code != http.StatusOK {
@@ -79,7 +81,7 @@ func TestInvalidateBumpsVersion(t *testing.T) {
 	if body.Dataset != "cri1" || body.Version != 1 {
 		t.Fatalf("invalidate reply = %+v, want cri1 at version 1", body)
 	}
-	if v := h.srv.DatasetVersion("cri1"); v != 1 {
+	if v := srv.DatasetVersion("cri1"); v != 1 {
 		t.Fatalf("server version = %d, want 1", v)
 	}
 }

@@ -346,10 +346,11 @@ var Experiments = map[string]func() (*Table, error){
 	"shard":     ShardBench,
 	"chaos":     Chaos,
 	"integrity": Integrity,
+	"remote":    RemoteBench,
 }
 
 // IDs lists experiment IDs in presentation order.
-var IDs = []string{"table2", "fig3a", "fig3b", "fig8a", "fig8b", "fig9", "fig10a", "fig10b", "fig11", "fig12", "fig13", "options", "opstats", "faults", "serve", "mqo", "shard", "chaos", "integrity"}
+var IDs = []string{"table2", "fig3a", "fig3b", "fig8a", "fig8b", "fig9", "fig10a", "fig10b", "fig11", "fig12", "fig13", "options", "opstats", "faults", "serve", "mqo", "shard", "chaos", "integrity", "remote"}
 
 // OpStats records per-operator aggregates for a traced DFP run: how many
 // operators of each kind executed, and where the simulated time and bytes

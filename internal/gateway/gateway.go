@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"remac/internal/httpapi"
 	"remac/internal/lang"
 	"remac/internal/resilience"
 	"remac/internal/serve"
@@ -468,6 +469,16 @@ func (g *Gateway) Do(ctx context.Context, req Request) (*Result, error) {
 	}
 	q.Timeout = 0
 
+	// Stamp the idempotency key before the first attempt so every retry,
+	// spill-over and failover of this query carries the same key: a shard
+	// that already executed it replays the committed result instead of
+	// executing twice. Callers may pin their own key (client-side retries
+	// across gateway connections); otherwise the request id — unique per
+	// gateway attempt sequence — is exactly the right scope.
+	if q.IdempotencyKey == "" {
+		q.IdempotencyKey = rid
+	}
+
 	release, err := g.quotas.admit(tenant)
 	if err != nil {
 		g.quotaRej.Add(1)
@@ -491,6 +502,7 @@ func (g *Gateway) Do(ctx context.Context, req Request) (*Result, error) {
 	shard := -1
 	spills, failovers := 0, 0
 	spilled, failedOver := false, false
+	var retryAfterHint time.Duration
 	for i := 0; i < len(order); i++ {
 		shard = order[i]
 		res, lastErr = g.instance(shard).Do(ctx, q)
@@ -501,16 +513,30 @@ func (g *Gateway) Do(ctx context.Context, req Request) (*Result, error) {
 		if ctx.Err() != nil || i+1 >= len(order) {
 			break
 		}
+		if resilience.IsClass(lastErr, resilience.Quota) {
+			// 429 from a shard is tenant-level backpressure, not shard
+			// saturation: every replica enforces the same quota, so
+			// spilling over would just burn the fleet re-rejecting the
+			// same tenant. Terminal — the Retry-After travels back as-is.
+			break
+		}
 		if resilience.IsClass(lastErr, resilience.Overloaded) && spills < g.cfg.SpillOver {
-			// Saturated or breaker-open shard: bounded spill-over to the
-			// next shard in preference order.
+			// Saturated or breaker-open shard (503): bounded spill-over to
+			// the next shard in preference order. Remember the soonest
+			// Retry-After any shard advertised — if every replica turns us
+			// away, the final rejection tells the client when the
+			// least-loaded one expects capacity back.
+			if ra := retryAfterOf(lastErr); ra > 0 && (retryAfterHint == 0 || ra < retryAfterHint) {
+				retryAfterHint = ra
+			}
 			spills++
 			spilled = true
 			continue
 		}
 		if resilience.IsClass(lastErr, resilience.Internal) && failovers < g.cfg.Failover {
-			// Broken shard (crash, panic, abandoned producer): bounded
-			// failover to the next shard in preference order.
+			// Broken shard (crash, panic, abandoned producer, wire-retry
+			// exhaustion on a remote shard): bounded failover to the next
+			// shard in preference order.
 			failovers++
 			failedOver = true
 			continue
@@ -533,6 +559,18 @@ func (g *Gateway) Do(ctx context.Context, req Request) (*Result, error) {
 				Err: fmt.Errorf("%w after %d attempt(s): %w", ErrFailoverExhausted, failovers+1, lastErr)}
 		case resilience.IsClass(lastErr, resilience.Overloaded):
 			g.overloadRej.Add(1)
+			// The last-tried shard's hint competes for the minimum too.
+			if ra := retryAfterOf(lastErr); ra > 0 && (retryAfterHint == 0 || ra < retryAfterHint) {
+				retryAfterHint = ra
+			}
+			if spilled && retryAfterHint > 0 && retryAfterOf(lastErr) != retryAfterHint {
+				// The fleet-wide rejection carries the soonest Retry-After
+				// seen while spilling, not whichever shard happened to be
+				// tried last.
+				lastErr = &resilience.QueryError{Class: resilience.Overloaded, Stage: "route",
+					Err:        fmt.Errorf("all %d spill target(s) overloaded: %w", spills+1, lastErr),
+					RetryAfter: retryAfterHint}
+			}
 		}
 		g.tenantFinish(tenant, latency, 0, lastErr)
 		g.auditFinish(ev, start, lastErr)
@@ -787,12 +825,18 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 	return errors.Join(errs...)
 }
 
-// requestCounter feeds NewRequestID.
-var requestCounter atomic.Uint64
-
 // NewRequestID returns a process-unique request id (nanosecond timestamp
-// + counter, hex). Both HTTP front-ends use it when the client did not
-// send an X-Request-ID.
-func NewRequestID() string {
-	return fmt.Sprintf("%012x-%06x", uint64(time.Now().UnixNano())&0xffffffffffff, requestCounter.Add(1)&0xffffff)
+// + counter, hex). The implementation lives in httpapi — which both HTTP
+// front-ends and the remote transport share — and is aliased here for the
+// gateway's in-process callers.
+func NewRequestID() string { return httpapi.NewRequestID() }
+
+// retryAfterOf extracts the Retry-After hint a typed rejection carries
+// (zero when absent).
+func retryAfterOf(err error) time.Duration {
+	var qe *resilience.QueryError
+	if errors.As(err, &qe) {
+		return qe.RetryAfter
+	}
+	return 0
 }

@@ -25,6 +25,13 @@ const (
 	// is revived or shut down — a deadlocked or partitioned process. The
 	// gateway's probe timeout is what detects this mode.
 	KillHang
+	// KillPartition makes the shard unreachable over the wire without
+	// killing it: queries fail with the same Internal-class wire error a
+	// partitioned RemoteInstance produces (ErrNetPartition at the root),
+	// probes report a wire failure, and version reads return -1 — the
+	// shard itself keeps running, so Revive models the partition healing
+	// with all shard state intact.
+	KillPartition
 )
 
 // Killable wraps an Instance with a kill switch for chaos tests and the
@@ -94,8 +101,12 @@ func (k *Killable) Do(ctx context.Context, q serve.Query) (*serve.QueryResult, e
 	if !dead {
 		return k.Inner().Do(ctx, q)
 	}
-	if mode == KillErrors {
+	switch mode {
+	case KillErrors:
 		return nil, &resilience.QueryError{Class: resilience.Internal, Stage: "shard", Err: ErrShardDown}
+	case KillPartition:
+		return nil, &resilience.QueryError{Class: resilience.Internal, Stage: "wire",
+			Err: fmt.Errorf("gateway: %w", ErrNetPartition)}
 	}
 	select {
 	case <-revive:
@@ -117,8 +128,11 @@ func (k *Killable) Healthz() serve.Health {
 	if !dead {
 		return k.Inner().Healthz()
 	}
-	if mode == KillErrors {
+	switch mode {
+	case KillErrors:
 		return serve.Health{OK: false, Status: "dead"}
+	case KillPartition:
+		return serve.Health{OK: false, Status: "partitioned"}
 	}
 	select {
 	case <-revive:
@@ -134,8 +148,11 @@ func (k *Killable) Readyz() serve.Health {
 	if !dead {
 		return k.Inner().Readyz()
 	}
-	if mode == KillErrors {
+	switch mode {
+	case KillErrors:
 		return serve.Health{OK: false, Status: "dead"}
+	case KillPartition:
+		return serve.Health{OK: false, Status: "partitioned"}
 	}
 	select {
 	case <-revive:
@@ -158,8 +175,16 @@ func (k *Killable) InvalidateDataset(id string) {
 
 // DatasetVersion reads through to the inner instance: it is the
 // supervisor's last known state for the shard, readable even while the
-// shard itself is down.
-func (k *Killable) DatasetVersion(id string) int64 { return k.Inner().DatasetVersion(id) }
+// shard itself is down. Under KillPartition there is no supervisor-side
+// state — the read is a wire round-trip — so it fails to -1 like a
+// partitioned RemoteInstance, which keeps the rejoin catch-up gate shut
+// until the partition heals.
+func (k *Killable) DatasetVersion(id string) int64 {
+	if dead, mode, _ := k.state(); dead && mode == KillPartition {
+		return -1
+	}
+	return k.Inner().DatasetVersion(id)
+}
 
 // Metrics reads through to the inner instance.
 func (k *Killable) Metrics() serve.Snapshot { return k.Inner().Metrics() }

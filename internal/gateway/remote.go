@@ -1,0 +1,570 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"remac/internal/engine"
+	"remac/internal/httpapi"
+	"remac/internal/resilience"
+	"remac/internal/serve"
+)
+
+// ErrRetryBudgetExhausted is the root cause inside the Overloaded-class
+// (503 + Retry-After) error returned when the server-wide retry budget
+// cannot fund another wire retry. A typed rejection instead of a retry
+// storm: a recovering fleet must not be hammered by every caller's
+// backlog at once.
+var ErrRetryBudgetExhausted = errors.New("gateway: wire retry budget exhausted")
+
+// ErrNotTransmittable is the root cause inside the Compile-class error a
+// RemoteInstance returns for queries it cannot reconstruct over the wire
+// (in-process probes, fault plans, or input bindings with no dataset).
+var ErrNotTransmittable = errors.New("gateway: query not transmittable to a remote shard")
+
+// RetryBudget is a token bucket shared by every RemoteInstance behind one
+// gateway: each wire retry spends a token and each wire success refills
+// RefillPerSuccess (capped at the capacity), so sustained retries are
+// bounded to a fraction of successful traffic. When the bucket is empty a
+// retry is refused with a typed Overloaded error instead of amplifying
+// load into a partition.
+type RetryBudget struct {
+	mu        sync.Mutex
+	tokens    float64
+	capacity  float64
+	refill    float64
+	taken     uint64
+	exhausted uint64
+}
+
+// NewRetryBudget builds a budget with capacity tokens (starting full) and
+// refillPerSuccess tokens restored per successful wire query. capacity <= 0
+// defaults to 64; refillPerSuccess < 0 defaults to 0.1.
+func NewRetryBudget(capacity, refillPerSuccess float64) *RetryBudget {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	if refillPerSuccess < 0 {
+		refillPerSuccess = 0.1
+	}
+	return &RetryBudget{tokens: capacity, capacity: capacity, refill: refillPerSuccess}
+}
+
+// Take spends one retry token; false means the budget is exhausted and
+// the retry must not happen.
+func (b *RetryBudget) Take() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		b.exhausted++
+		return false
+	}
+	b.tokens--
+	b.taken++
+	return true
+}
+
+// Success refills the bucket by the per-success increment.
+func (b *RetryBudget) Success() {
+	b.mu.Lock()
+	b.tokens += b.refill
+	if b.tokens > b.capacity {
+		b.tokens = b.capacity
+	}
+	b.mu.Unlock()
+}
+
+// RetryBudgetStats snapshots the bucket.
+type RetryBudgetStats struct {
+	Tokens    float64 `json:"tokens"`
+	Capacity  float64 `json:"capacity"`
+	Taken     uint64  `json:"taken"`
+	Exhausted uint64  `json:"exhausted"`
+}
+
+// Stats snapshots the budget's tokens and counters.
+func (b *RetryBudget) Stats() RetryBudgetStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return RetryBudgetStats{Tokens: b.tokens, Capacity: b.capacity, Taken: b.taken, Exhausted: b.exhausted}
+}
+
+// RemoteConfig parameterizes a RemoteInstance.
+type RemoteConfig struct {
+	// BaseURL is the shard's root endpoint ("http://host:port").
+	BaseURL string
+	// ShardID labels the shard in stats and lifecycle events; empty
+	// derives it from the BaseURL host.
+	ShardID string
+	// Client is the pooled HTTP client; nil builds one over a cloned
+	// default transport. Chaos harnesses inject a NetFault-wrapped
+	// transport here.
+	Client *http.Client
+	// AttemptTimeout bounds one wire attempt. Each attempt's context is
+	// carved from the query's once-bound deadline: min(AttemptTimeout,
+	// remaining budget), so wire retries can never extend a query past
+	// the deadline the gateway bound before the first attempt. Default 10s.
+	AttemptTimeout time.Duration
+	// Retries bounds wire-level retries per query after the first attempt.
+	// Only transport-layer failures retry (resets, timeouts, torn or
+	// garbled bodies — all idempotent under the shard's replay window);
+	// an HTTP status is an authoritative answer and is never retried at
+	// this layer. Default 2; negative disables.
+	Retries int
+	// Budget, when non-nil, is the gateway-wide retry budget every
+	// RemoteInstance shares. Nil: retries bounded by Retries alone.
+	Budget *RetryBudget
+	// ProbeTimeout bounds health, stats, version and invalidation
+	// round-trips. Default 2s.
+	ProbeTimeout time.Duration
+}
+
+func (c RemoteConfig) withDefaults() RemoteConfig {
+	if c.ShardID == "" {
+		if u, err := url.Parse(c.BaseURL); err == nil && u.Host != "" {
+			c.ShardID = u.Host
+		} else {
+			c.ShardID = c.BaseURL
+		}
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: http.DefaultTransport.(*http.Transport).Clone()}
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 10 * time.Second
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// WireStats reports a RemoteInstance's transport counters.
+type WireStats struct {
+	// Attempts counts wire attempts (first tries and retries).
+	Attempts uint64 `json:"attempts"`
+	// Retries counts budget-funded re-attempts after a wire failure.
+	Retries uint64 `json:"retries"`
+	// Failures counts transport-layer failures (resets, timeouts, torn
+	// bodies) — not HTTP error statuses, which are answers.
+	Failures uint64 `json:"failures"`
+	// Replays counts responses the shard served from its idempotency
+	// window: a retry whose original executed and whose reply was lost.
+	Replays uint64 `json:"replays"`
+	// BudgetExhausted counts retries refused by the shared budget.
+	BudgetExhausted uint64 `json:"budget_exhausted"`
+	// Budget snapshots the shared bucket (nil when no budget is wired).
+	Budget *RetryBudgetStats `json:"budget,omitempty"`
+}
+
+// RemoteInstance implements Instance over HTTP against a cmd/remac-serve
+// shard: pooled connections, per-attempt timeouts carved from the
+// once-bound query deadline, budgeted idempotent retries, and wire errors
+// mapped into the resilience taxonomy so lifecycle ejection, failover and
+// rejoin fire on wire evidence exactly as they do in process.
+type RemoteInstance struct {
+	cfg  RemoteConfig
+	base string
+
+	wireAttempts    atomic.Uint64
+	wireRetries     atomic.Uint64
+	wireFailures    atomic.Uint64
+	replays         atomic.Uint64
+	budgetExhausted atomic.Uint64
+}
+
+// NewRemote builds a remote shard client. The instance is stateless
+// beyond its connection pool: respawning one (Config.Respawn) is just
+// constructing a fresh client against the same URL.
+func NewRemote(cfg RemoteConfig) *RemoteInstance {
+	cfg = cfg.withDefaults()
+	base := cfg.BaseURL
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &RemoteInstance{cfg: cfg, base: base}
+}
+
+var _ Instance = (*RemoteInstance)(nil)
+
+// ShardID returns the instance's stats label.
+func (ri *RemoteInstance) ShardID() string { return ri.cfg.ShardID }
+
+// WireStats snapshots the transport counters.
+func (ri *RemoteInstance) WireStats() WireStats {
+	ws := WireStats{
+		Attempts:        ri.wireAttempts.Load(),
+		Retries:         ri.wireRetries.Load(),
+		Failures:        ri.wireFailures.Load(),
+		Replays:         ri.replays.Load(),
+		BudgetExhausted: ri.budgetExhausted.Load(),
+	}
+	if ri.cfg.Budget != nil {
+		s := ri.cfg.Budget.Stats()
+		ws.Budget = &s
+	}
+	return ws
+}
+
+// wireError marks a transport-layer failure as retryable at this layer.
+type wireError struct{ err error }
+
+func (e *wireError) Error() string { return "gateway: wire failure: " + e.err.Error() }
+func (e *wireError) Unwrap() error { return e.err }
+
+// isWireRetryable reports whether a Do attempt failure is a transport
+// fault worth a budgeted retry (an HTTP-status error never is).
+func isWireRetryable(err error) bool {
+	var we *wireError
+	return errors.As(err, &we)
+}
+
+// wireRequest reconstructs the HTTP request body for a built query. Only
+// builder-shaped queries travel: the algorithm (or raw script) plus the
+// dataset rebind the same standard inputs on the far side. In-process
+// chaos hooks (Probe), fault plans, and custom inputs without a dataset
+// have no wire representation and fail with a typed Compile-class error
+// rather than silently executing something else remotely.
+func wireRequest(q serve.Query) (httpapi.QueryRequest, error) {
+	bad := func(what string) (httpapi.QueryRequest, error) {
+		return httpapi.QueryRequest{}, &resilience.QueryError{
+			Class: resilience.Compile, Stage: "wire",
+			Err: fmt.Errorf("%w: %s", ErrNotTransmittable, what),
+		}
+	}
+	if q.Probe != nil {
+		return bad("in-process probe hook set")
+	}
+	if q.Faults.Enabled() {
+		return bad("fault-injection plan set")
+	}
+	if q.Dataset == "" {
+		return bad("no dataset to rebind inputs from")
+	}
+	req := httpapi.QueryRequest{
+		Algorithm:           q.Algorithm,
+		Dataset:             q.Dataset,
+		Iterations:          q.Iterations,
+		Strategy:            httpapi.StrategyName(q.Strategy),
+		MaxIterations:       q.MaxIterations,
+		Recovery:            q.Recovery.String(),
+		NoPlanCache:         q.NoPlanCache,
+		NoIntermediateCache: q.NoIntermediateCache,
+	}
+	if q.Algorithm == "" {
+		req.Script = q.Script
+	}
+	if q.Recovery == (engine.RecoveryPolicy{}) {
+		// The zero policy means "server default" — don't pin "lineage"
+		// over a remote shard configured with a different default.
+		req.Recovery = ""
+	}
+	return req, nil
+}
+
+// wireBackoff is the deterministic retry delay: exponential from 2ms,
+// capped, with jitter derived from the idempotency key and attempt so
+// concurrent retriers do not synchronize.
+func wireBackoff(key string, attempt int) time.Duration {
+	base := 2 * time.Millisecond << uint(attempt-1)
+	if base > 20*time.Millisecond {
+		base = 20 * time.Millisecond
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(attempt))
+	h.Write(b[:])
+	jitter := time.Duration(h.Sum64() % uint64(base))
+	return base + jitter
+}
+
+// Do submits the query over the wire. The attempt loop retries only
+// transport failures — each funded by the shared budget and re-sent under
+// the same idempotency key, so a response lost after the shard committed
+// replays the original result instead of re-executing. An HTTP error
+// status parses back into the typed error the shard wrote (Retry-After
+// included) and returns immediately: overload, quota and client errors
+// are answers for the gateway's spill-over/failover logic, not transport
+// noise.
+func (ri *RemoteInstance) Do(ctx context.Context, q serve.Query) (*serve.QueryResult, error) {
+	req, err := wireRequest(q)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, &resilience.QueryError{Class: resilience.Internal, Stage: "wire", Err: err}
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if ri.cfg.Budget != nil && !ri.cfg.Budget.Take() {
+				ri.budgetExhausted.Add(1)
+				return nil, &resilience.QueryError{
+					Class: resilience.Overloaded, Stage: "wire-retry",
+					Err:        fmt.Errorf("%w: %w", ErrRetryBudgetExhausted, lastErr),
+					RetryAfter: time.Second,
+				}
+			}
+			ri.wireRetries.Add(1)
+			t := time.NewTimer(wireBackoff(q.IdempotencyKey, attempt))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, wireCanceled(ctx, lastErr)
+			}
+		}
+		res, err := ri.attempt(ctx, q.IdempotencyKey, payload, attempt)
+		if err == nil {
+			if ri.cfg.Budget != nil {
+				ri.cfg.Budget.Success()
+			}
+			return res, nil
+		}
+		if !isWireRetryable(err) {
+			return nil, err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, wireCanceled(ctx, lastErr)
+		}
+		if attempt >= ri.cfg.Retries {
+			// Wire retries exhausted: an Internal-class failure, so the
+			// gateway's failover and passive ejection fire on it exactly
+			// as they would on an in-process crash.
+			return nil, &resilience.QueryError{
+				Class: resilience.Internal, Stage: "wire",
+				Err: fmt.Errorf("%w (after %d attempt(s))", lastErr, attempt+1),
+			}
+		}
+	}
+}
+
+// wireCanceled renders a context expiry mid-transport as the typed
+// Canceled-class error the deadline machinery expects.
+func wireCanceled(ctx context.Context, lastErr error) error {
+	cause := ctx.Err()
+	if lastErr != nil {
+		cause = fmt.Errorf("%w (last wire failure: %w)", ctx.Err(), lastErr)
+	}
+	return &resilience.QueryError{
+		Class: resilience.Canceled, Stage: "wire",
+		Err: fmt.Errorf("gateway: %w: %w", engine.ErrCanceled, cause),
+	}
+}
+
+// maxWireBody bounds response bodies read off the wire.
+const maxWireBody = 8 << 20
+
+// attempt is one wire round-trip under a deadline carved from ctx.
+func (ri *RemoteInstance) attempt(ctx context.Context, key string, payload []byte, attempt int) (*serve.QueryResult, error) {
+	ri.wireAttempts.Add(1)
+	timeout := ri.cfg.AttemptTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		rem := time.Until(dl)
+		if rem <= 0 {
+			return nil, wireCanceled(ctx, nil)
+		}
+		if rem < timeout {
+			timeout = rem
+		}
+	}
+	actx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(actx, http.MethodPost, ri.base+"/query", bytes.NewReader(payload))
+	if err != nil {
+		return nil, &resilience.QueryError{Class: resilience.Internal, Stage: "wire", Err: err}
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		hreq.Header.Set(httpapi.IdempotencyKeyHeader, key)
+	}
+	hreq.Header.Set(httpapi.AttemptHeader, strconv.Itoa(attempt))
+	resp, err := ri.cfg.Client.Do(hreq)
+	if err != nil {
+		ri.wireFailures.Add(1)
+		if ctx.Err() != nil {
+			return nil, wireCanceled(ctx, err)
+		}
+		return nil, &wireError{err}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxWireBody))
+	if err != nil {
+		ri.wireFailures.Add(1)
+		if ctx.Err() != nil {
+			return nil, wireCanceled(ctx, err)
+		}
+		return nil, &wireError{fmt.Errorf("reading response: %w", err)}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpapi.ParseError(resp.StatusCode, resp.Header, body)
+	}
+	var qr httpapi.QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		ri.wireFailures.Add(1)
+		return nil, &wireError{fmt.Errorf("garbled response body: %w", err)}
+	}
+	res := resultFromResponse(qr)
+	if res.Replayed {
+		ri.replays.Add(1)
+	}
+	return res, nil
+}
+
+// resultFromResponse rebuilds a serve.QueryResult from the wire shape:
+// summaries and the executing shard's bitwise result hash stand in for
+// the cells, which never travel.
+func resultFromResponse(qr httpapi.QueryResponse) *serve.QueryResult {
+	res := &serve.QueryResult{
+		Iterations:         qr.Iterations,
+		SimulatedSec:       qr.SimulatedSec,
+		ComputeSec:         qr.ComputeSec,
+		TransmitSec:        qr.TransmitSec,
+		CompileSec:         qr.CompileSec,
+		WallSec:            qr.WallSec,
+		PlanCacheHit:       qr.PlanCacheHit,
+		IntermediateHits:   qr.IntermediateHits,
+		IntermediateMisses: qr.IntermediateMiss,
+		SharedHits:         qr.SharedHits,
+		SharedProduced:     qr.SharedProduced,
+		CodedRecoveries:    qr.CodedRecoveries,
+		DecodeSec:          qr.DecodeSec,
+		EncodeFLOP:         qr.EncodeFLOP,
+		SelectedKeys:       qr.SelectedKeys,
+		FLOP:               qr.FLOP,
+		Attempts:           qr.Attempts,
+		Replayed:           qr.Replayed,
+	}
+	if len(qr.Values) > 0 {
+		res.Summaries = make(map[string]serve.ValueSummary, len(qr.Values))
+		for name, vs := range qr.Values {
+			res.Summaries[name] = vs
+		}
+	}
+	if qr.ResultHash != "" {
+		if h, err := strconv.ParseUint(qr.ResultHash, 16, 64); err == nil {
+			res.ResultHash = h
+		}
+	}
+	return res
+}
+
+// get is one bounded GET against the shard.
+func (ri *RemoteInstance) get(path string) (int, http.Header, []byte, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), ri.cfg.ProbeTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, ri.base+path, nil)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	resp, err := ri.cfg.Client.Do(hreq)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxWireBody))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, resp.Header, body, nil
+}
+
+// probe reads one health endpoint; any wire failure is an unhealthy
+// report — active detection fires on wire evidence.
+func (ri *RemoteInstance) probe(path string) serve.Health {
+	_, _, body, err := ri.get(path)
+	if err != nil {
+		return serve.Health{OK: false, Status: "wire: " + err.Error()}
+	}
+	var h serve.Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		return serve.Health{OK: false, Status: "wire: bad probe body"}
+	}
+	return h
+}
+
+// Healthz probes the remote shard's liveness over the wire.
+func (ri *RemoteInstance) Healthz() serve.Health { return ri.probe("/healthz") }
+
+// Readyz probes the remote shard's readiness over the wire.
+func (ri *RemoteInstance) Readyz() serve.Health { return ri.probe("/readyz") }
+
+// Metrics reads the shard's /stats snapshot; a wire failure returns an
+// empty snapshot still labeled with the shard id.
+func (ri *RemoteInstance) Metrics() serve.Snapshot {
+	status, _, body, err := ri.get("/stats")
+	if err != nil || status != http.StatusOK {
+		return serve.Snapshot{Shard: ri.cfg.ShardID}
+	}
+	var snap serve.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return serve.Snapshot{Shard: ri.cfg.ShardID}
+	}
+	if snap.Shard == "" {
+		snap.Shard = ri.cfg.ShardID
+	}
+	return snap
+}
+
+// InvalidateDataset bumps the dataset version on the remote shard. A wire
+// failure drops the bump — exactly like a crashed in-process shard — and
+// DatasetVersion's lag report makes the gateway's acknowledged broadcast
+// count the shard as lagged until the rejoin catch-up replays it.
+func (ri *RemoteInstance) InvalidateDataset(id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), ri.cfg.ProbeTimeout)
+	defer cancel()
+	u := ri.base + "/invalidate?dataset=" + url.QueryEscape(id)
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, u, nil)
+	if err != nil {
+		return
+	}
+	resp, err := ri.cfg.Client.Do(hreq)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// DatasetVersion reads the shard's acknowledged version over the wire;
+// -1 on any failure, which every catch-up loop treats as "behind and not
+// acknowledging" — the broadcast moves on and the rejoin gate retries.
+func (ri *RemoteInstance) DatasetVersion(id string) int64 {
+	status, _, body, err := ri.get("/version?dataset=" + url.QueryEscape(id))
+	if err != nil || status != http.StatusOK {
+		return -1
+	}
+	var vr httpapi.VersionResponse
+	if err := json.Unmarshal(body, &vr); err != nil {
+		return -1
+	}
+	return vr.Version
+}
+
+// Shutdown releases the pooled connections. The remote process has its
+// own lifecycle — the gateway deliberately cannot stop it.
+func (ri *RemoteInstance) Shutdown(ctx context.Context) error {
+	ri.cfg.Client.CloseIdleConnections()
+	return nil
+}

@@ -75,6 +75,9 @@ type ShardStats struct {
 	ID        string         `json:"id"`
 	Lifecycle ShardLifecycle `json:"lifecycle"`
 	Snapshot  serve.Snapshot `json:"snapshot"`
+	// Wire reports transport counters for remote shards (nil for
+	// in-process instances).
+	Wire *WireStats `json:"wire,omitempty"`
 }
 
 // Stats is the gateway's aggregate /stats payload: routing counters, the
@@ -143,10 +146,16 @@ func (g *Gateway) Stats() Stats {
 	}
 	snaps := make([]serve.Snapshot, len(g.ids))
 	for i := range snaps {
-		snaps[i] = g.instance(i).Metrics()
-		st.PerShard = append(st.PerShard, ShardStats{
+		inst := g.instance(i)
+		snaps[i] = inst.Metrics()
+		ss := ShardStats{
 			Shard: i, ID: g.ids[i], Lifecycle: g.life.view(i), Snapshot: snaps[i],
-		})
+		}
+		if ri, ok := inst.(*RemoteInstance); ok {
+			ws := ri.WireStats()
+			ss.Wire = &ws
+		}
+		st.PerShard = append(st.PerShard, ss)
 	}
 	st.Merged = serve.MergeSnapshots(snaps...)
 	g.tenantMu.Lock()

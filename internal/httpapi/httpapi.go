@@ -12,14 +12,15 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"remac/internal/algorithms"
 	"remac/internal/data"
 	"remac/internal/engine"
-	"remac/internal/gateway"
 	"remac/internal/opt"
 	"remac/internal/resilience"
 	"remac/internal/serve"
@@ -31,6 +32,21 @@ const RequestIDHeader = "X-Request-ID"
 
 // TenantHeader identifies the submitting tenant to the gateway tier.
 const TenantHeader = "X-Tenant"
+
+// IdempotencyKeyHeader carries the replay-suppression key for POST /query.
+// The gateway stamps one per request (its request id) before any wire
+// attempt; a shard receiving the same key twice within its idempotency
+// window returns the original result instead of re-executing the plan.
+const IdempotencyKeyHeader = "X-Idempotency-Key"
+
+// AttemptHeader carries the zero-based transport attempt number of a
+// (possibly retried) request — diagnostic only; replay suppression keys
+// off IdempotencyKeyHeader alone.
+const AttemptHeader = "X-Attempt"
+
+// MaxQueryBodyBytes is the default POST /query body cap for both
+// front-ends (DecodeQuery); oversize bodies fail with a typed 413.
+const MaxQueryBodyBytes = 1 << 20
 
 // QueryRequest is the POST /query body for both front-ends.
 type QueryRequest struct {
@@ -55,11 +71,9 @@ type QueryRequest struct {
 }
 
 // ValueSummary reports a result variable without shipping its cells.
-type ValueSummary struct {
-	Rows      int     `json:"rows"`
-	Cols      int     `json:"cols"`
-	Frobenius float64 `json:"frobenius_norm"`
-}
+// It aliases serve.ValueSummary so a RemoteInstance can decode wire
+// summaries straight onto a QueryResult.
+type ValueSummary = serve.ValueSummary
 
 // QueryResponse is the POST /query reply.
 type QueryResponse struct {
@@ -79,6 +93,17 @@ type QueryResponse struct {
 	DecodeSec        float64                 `json:"decode_sec,omitempty"`
 	EncodeFLOP       float64                 `json:"encode_flop,omitempty"`
 	SelectedKeys     []string                `json:"selected_keys,omitempty"`
+	FLOP             float64                 `json:"flop,omitempty"`
+	Attempts         int                     `json:"attempts,omitempty"`
+
+	// ResultHash is the FNV-64a fingerprint of the result's materialized
+	// values (hex; see serve.HashValues): the bitwise identity a remote
+	// caller can assert without the cells ever crossing the wire.
+	ResultHash string `json:"result_hash,omitempty"`
+	// Replayed marks a response served from the shard's idempotency
+	// window — a retry after a lost response, answered without
+	// re-executing the plan.
+	Replayed bool `json:"replayed,omitempty"`
 
 	// RequestID echoes the request correlation id; the gateway also
 	// reports which shard served the query and whether it spilled
@@ -108,9 +133,21 @@ func BuildResponse(res *serve.QueryResult) QueryResponse {
 		DecodeSec:        res.DecodeSec,
 		EncodeFLOP:       res.EncodeFLOP,
 		SelectedKeys:     res.SelectedKeys,
+		FLOP:             res.FLOP,
+		Attempts:         res.Attempts,
+		Replayed:         res.Replayed,
+	}
+	if res.ResultHash != 0 {
+		resp.ResultHash = fmt.Sprintf("%016x", res.ResultHash)
 	}
 	for name, m := range res.Values {
 		resp.Values[name] = ValueSummary{Rows: m.Rows(), Cols: m.Cols(), Frobenius: m.FrobeniusNorm()}
+	}
+	if len(res.Values) == 0 {
+		// A relayed remote result has no cells, only summaries.
+		for name, vs := range res.Summaries {
+			resp.Values[name] = vs
+		}
 	}
 	return resp
 }
@@ -132,6 +169,27 @@ func ParseStrategy(s string) (opt.Strategy, error) {
 		return opt.Automatic, nil
 	default:
 		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}
+
+// StrategyName is the inverse of ParseStrategy: the wire name a strategy
+// travels under, so a remote transport can re-submit a built query with
+// the same elimination behavior. ParseStrategy(StrategyName(s)) == s for
+// every strategy ParseStrategy accepts.
+func StrategyName(s opt.Strategy) string {
+	switch s {
+	case opt.NoElimination:
+		return "none"
+	case opt.Explicit:
+		return "explicit"
+	case opt.Conservative:
+		return "conservative"
+	case opt.Aggressive:
+		return "aggressive"
+	case opt.Automatic:
+		return "automatic"
+	default:
+		return "adaptive"
 	}
 }
 
@@ -206,6 +264,7 @@ func (b *QueryBuilder) Build(req QueryRequest) (serve.Query, error) {
 		ins["x0"] = engine.Input{Data: ds.InitialX(), VRows: ds.VCols, VCols: 1}
 	}
 	q = serve.NewQuery(script, ins)
+	q.Algorithm = req.Algorithm
 	q.Dataset = req.Dataset
 	q.Iterations = iters
 	q.Strategy, err = ParseStrategy(req.Strategy)
@@ -226,13 +285,23 @@ func (b *QueryBuilder) Build(req QueryRequest) (serve.Query, error) {
 	return q, nil
 }
 
+// requestCounter feeds NewRequestID.
+var requestCounter atomic.Uint64
+
+// NewRequestID returns a process-unique request id (nanosecond timestamp
+// + counter, hex). Both HTTP front-ends use it when the client did not
+// send an X-Request-ID, and the gateway derives idempotency keys from it.
+func NewRequestID() string {
+	return fmt.Sprintf("%012x-%06x", uint64(time.Now().UnixNano())&0xffffffffffff, requestCounter.Add(1)&0xffffff)
+}
+
 // RequestID extracts the X-Request-ID header, generating a fresh id when
 // the client sent none (or whitespace).
 func RequestID(r *http.Request) string {
 	if id := strings.TrimSpace(r.Header.Get(RequestIDHeader)); id != "" {
 		return id
 	}
-	return gateway.NewRequestID()
+	return NewRequestID()
 }
 
 // Tenant extracts the tenant identity: the X-Tenant header wins, then the
@@ -308,6 +377,105 @@ func WriteError(w http.ResponseWriter, requestID string, err error) {
 	if err := enc.Encode(body); err != nil {
 		log.Printf("encode error response: %v", err)
 	}
+}
+
+// DecodeQuery reads and decodes a POST /query body bounded by maxBytes
+// (0: MaxQueryBodyBytes; negative: unbounded). An oversize body fails with
+// a typed 413 JSON error, malformed JSON with a Compile-class 400 — in
+// both cases the response has already been written and ok is false.
+func DecodeQuery(w http.ResponseWriter, r *http.Request, requestID string, maxBytes int64) (QueryRequest, bool) {
+	var req QueryRequest
+	if maxBytes == 0 {
+		maxBytes = MaxQueryBodyBytes
+	}
+	body := r.Body
+	if maxBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, maxBytes)
+	}
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErrorBody(w, http.StatusRequestEntityTooLarge, ErrorResponse{
+				Error:     fmt.Sprintf("request body exceeds %d-byte limit", mbe.Limit),
+				Class:     "payload-too-large",
+				Stage:     "request",
+				RequestID: requestID,
+			}, requestID)
+			return req, false
+		}
+		WriteError(w, requestID, &resilience.QueryError{Class: resilience.Compile, Stage: "request", Err: err})
+		return req, false
+	}
+	return req, true
+}
+
+// writeErrorBody renders one ErrorResponse at an explicit status.
+func writeErrorBody(w http.ResponseWriter, status int, body ErrorResponse, requestID string) {
+	if requestID != "" {
+		w.Header().Set(RequestIDHeader, requestID)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(body); err != nil {
+		log.Printf("encode error response: %v", err)
+	}
+}
+
+// classForStatus maps an HTTP status back to a taxonomy class — the
+// fallback when an error body carries no parseable class.
+func classForStatus(status int) resilience.Class {
+	switch status {
+	case http.StatusTooManyRequests:
+		return resilience.Quota
+	case http.StatusServiceUnavailable:
+		return resilience.Overloaded
+	case http.StatusGatewayTimeout:
+		return resilience.Canceled
+	case http.StatusBadRequest, http.StatusRequestEntityTooLarge:
+		return resilience.Compile
+	case http.StatusUnprocessableEntity:
+		return resilience.MaxIterations
+	default:
+		return resilience.Internal
+	}
+}
+
+// ParseError is the inverse of WriteError: it reconstructs the typed
+// QueryError a front-end rendered into an HTTP error response, so a
+// remote caller handles wire failures through exactly the taxonomy an
+// in-process caller would see. The class comes from the JSON body when it
+// parses (status-code fallback otherwise), and the Retry-After header —
+// or the body's retry_after_sec — restores the backoff hint on 429/503.
+func ParseError(status int, header http.Header, body []byte) *resilience.QueryError {
+	qe := &resilience.QueryError{Class: classForStatus(status), Stage: "wire"}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err == nil && er.Error != "" {
+		if c, ok := resilience.ClassFromString(er.Class); ok {
+			qe.Class = c
+		}
+		qe.QueryID = er.QueryID
+		if er.Stage != "" {
+			qe.Stage = er.Stage
+		}
+		qe.Err = errors.New(er.Error)
+		if er.RetryAfterSec > 0 {
+			qe.RetryAfter = time.Duration(er.RetryAfterSec * float64(time.Second))
+		}
+	} else {
+		text := strings.TrimSpace(string(body))
+		if len(text) > 200 {
+			text = text[:200]
+		}
+		qe.Err = fmt.Errorf("http %d: %s", status, text)
+	}
+	if ra := strings.TrimSpace(header.Get("Retry-After")); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			qe.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return qe
 }
 
 // WriteJSON writes v as indented JSON, echoing the request id header when

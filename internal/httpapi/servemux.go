@@ -1,0 +1,167 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"remac/internal/resilience"
+	"remac/internal/serve"
+)
+
+// ServeHandlerConfig parameterizes the single-shard HTTP front-end.
+type ServeHandlerConfig struct {
+	// MaxBodyBytes caps POST /query bodies (0: MaxQueryBodyBytes;
+	// negative: unbounded).
+	MaxBodyBytes int64
+	// OnQuery, when non-nil, observes (and may adjust) every built query
+	// just before submission — the chaos harness uses it to attach
+	// execution-counting probes without touching the wire protocol.
+	OnQuery func(q *serve.Query, r *http.Request)
+}
+
+// serveHandler adapts one serve.Server to HTTP. cmd/remac-serve and the
+// remote-transport test/bench harnesses share it through NewServeMux, so
+// a RemoteInstance always talks to exactly the handler the real binary
+// runs.
+type serveHandler struct {
+	srv     *serve.Server
+	builder *QueryBuilder
+	cfg     ServeHandlerConfig
+}
+
+// NewServeMux wires the single-shard HTTP front-end over a serve.Server:
+// POST /query (body-capped, idempotency-key aware), GET /stats, /healthz,
+// /readyz, /version, and POST /invalidate.
+func NewServeMux(srv *serve.Server, builder *QueryBuilder, cfg ServeHandlerConfig) *http.ServeMux {
+	h := &serveHandler{srv: srv, builder: builder, cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", h.query)
+	mux.HandleFunc("/stats", h.stats)
+	mux.HandleFunc("/healthz", h.healthz)
+	mux.HandleFunc("/readyz", h.readyz)
+	mux.HandleFunc("/invalidate", h.invalidate)
+	mux.HandleFunc("/version", h.version)
+	return mux
+}
+
+func (h *serveHandler) query(w http.ResponseWriter, r *http.Request) {
+	rid := RequestID(r)
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	req, ok := DecodeQuery(w, r, rid, h.cfg.MaxBodyBytes)
+	if !ok {
+		return
+	}
+	q, err := h.builder.Build(req)
+	if err != nil {
+		WriteError(w, rid, &resilience.QueryError{Class: resilience.Compile, Stage: "request", Err: err})
+		return
+	}
+	if key := strings.TrimSpace(r.Header.Get(IdempotencyKeyHeader)); key != "" {
+		q.IdempotencyKey = key
+	}
+	if h.cfg.OnQuery != nil {
+		h.cfg.OnQuery(&q, r)
+	}
+	res, err := h.srv.Do(r.Context(), q)
+	if err != nil {
+		WriteError(w, rid, err)
+		return
+	}
+	resp := BuildResponse(res)
+	resp.RequestID = rid
+	WriteJSON(w, rid, resp)
+}
+
+func (h *serveHandler) healthz(w http.ResponseWriter, r *http.Request) {
+	rid := RequestID(r)
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	WriteJSON(w, rid, h.srv.Healthz())
+}
+
+func (h *serveHandler) readyz(w http.ResponseWriter, r *http.Request) {
+	rid := RequestID(r)
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	hz := h.srv.Readyz()
+	if !hz.OK {
+		if hz.RetryAfterSec > 0 {
+			secs := int(hz.RetryAfterSec)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		}
+		w.Header().Set(RequestIDHeader, rid)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(hz); err != nil {
+			log.Printf("encode readyz: %v", err)
+		}
+		return
+	}
+	WriteJSON(w, rid, hz)
+}
+
+func (h *serveHandler) stats(w http.ResponseWriter, r *http.Request) {
+	rid := RequestID(r)
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	WriteJSON(w, rid, h.srv.Metrics())
+}
+
+func (h *serveHandler) invalidate(w http.ResponseWriter, r *http.Request) {
+	rid := RequestID(r)
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	ds := strings.TrimSpace(r.URL.Query().Get("dataset"))
+	if ds == "" {
+		WriteError(w, rid, &resilience.QueryError{
+			Class: resilience.Compile, Stage: "request", Err: fmt.Errorf("dataset parameter required"),
+		})
+		return
+	}
+	h.srv.InvalidateDataset(ds)
+	WriteJSON(w, rid, VersionResponse{Dataset: ds, Version: h.srv.DatasetVersion(ds)})
+}
+
+// version reports the shard's current version for one dataset — the
+// acknowledgment a gateway's invalidation catch-up reads over the wire.
+func (h *serveHandler) version(w http.ResponseWriter, r *http.Request) {
+	rid := RequestID(r)
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	ds := strings.TrimSpace(r.URL.Query().Get("dataset"))
+	if ds == "" {
+		WriteError(w, rid, &resilience.QueryError{
+			Class: resilience.Compile, Stage: "request", Err: fmt.Errorf("dataset parameter required"),
+		})
+		return
+	}
+	WriteJSON(w, rid, VersionResponse{Dataset: ds, Version: h.srv.DatasetVersion(ds)})
+}
+
+// VersionResponse is the GET /version (and POST /invalidate) reply of the
+// shard front-end.
+type VersionResponse struct {
+	Dataset string `json:"dataset"`
+	Version int64  `json:"version"`
+}

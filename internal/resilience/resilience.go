@@ -89,6 +89,35 @@ func (c Class) String() string {
 	}
 }
 
+// ClassFromString is the inverse of Class.String: it parses the wire name
+// an HTTP front-end wrote into a JSON error body back into the class. ok
+// is false for names that are not a taxonomy class (e.g. the "closed"
+// drain marker), letting callers fall back to status-code mapping.
+func ClassFromString(s string) (Class, bool) {
+	switch s {
+	case "internal":
+		return Internal, true
+	case "overloaded":
+		return Overloaded, true
+	case "canceled":
+		return Canceled, true
+	case "compile":
+		return Compile, true
+	case "execution":
+		return Execution, true
+	case "max-iterations":
+		return MaxIterations, true
+	case "integrity":
+		return Integrity, true
+	case "numeric":
+		return Numeric, true
+	case "quota":
+		return Quota, true
+	default:
+		return Internal, false
+	}
+}
+
 // Class sentinels: errors.Is(err, resilience.ErrOverloaded) matches any
 // QueryError of that class, regardless of the wrapped cause.
 var (

@@ -35,6 +35,10 @@ type metrics struct {
 	hedges   uint64
 	hedgeWin uint64
 
+	executions    uint64
+	idemReplays   uint64
+	idemCoalesces uint64
+
 	corrInjected uint64
 	corrDigest   uint64
 	corrABFT     uint64
@@ -160,6 +164,31 @@ func (m *metrics) hedgeWon() {
 	m.mu.Unlock()
 }
 
+// executed counts one engine plan execution (every retry and hedged
+// duplicate included) — the counter the remote-transport chaos harness
+// asserts "zero duplicate executions" against.
+func (m *metrics) executed() {
+	m.mu.Lock()
+	m.executions++
+	m.mu.Unlock()
+}
+
+// idemReplayed counts a completed-entry replay: a keyed resubmission that
+// returned the stored result with no execution.
+func (m *metrics) idemReplayed() {
+	m.mu.Lock()
+	m.idemReplays++
+	m.mu.Unlock()
+}
+
+// idemCoalesced counts a keyed duplicate that latched onto its in-flight
+// leader instead of executing.
+func (m *metrics) idemCoalesced() {
+	m.mu.Lock()
+	m.idemCoalesces++
+	m.mu.Unlock()
+}
+
 // integrityCounts folds one query's corruption accounting into the
 // server-wide totals.
 func (m *metrics) integrityCounts(injected, byDigest, byABFT, repairs int, repairSec float64) {
@@ -276,6 +305,16 @@ type Snapshot struct {
 	BreakerState    string                     `json:"breaker_state"`
 	Breaker         resilience.BreakerCounters `json:"breaker"`
 
+	// Idempotency counters: engine plan executions (retries and hedges
+	// included), keyed resubmissions replayed from the completed window,
+	// duplicates coalesced onto an in-flight leader, and the window's
+	// current occupancy. Executions - Completed is the re-execution
+	// overhead; replays and coalesces are executions that never happened.
+	Executions    uint64 `json:"executions"`
+	IdemReplays   uint64 `json:"idem_replays"`
+	IdemCoalesced uint64 `json:"idem_coalesced"`
+	IdemEntries   int    `json:"idem_entries"`
+
 	// Integrity counters: corruptions that landed in served queries, split
 	// by which verification layer caught them, plus lineage repair work.
 	CorruptionsInjected uint64  `json:"corruptions_injected"`
@@ -327,6 +366,10 @@ func (m *metrics) snapshot() Snapshot {
 		Retries:         m.retries,
 		Hedges:          m.hedges,
 		HedgesWon:       m.hedgeWin,
+
+		Executions:    m.executions,
+		IdemReplays:   m.idemReplays,
+		IdemCoalesced: m.idemCoalesces,
 
 		CorruptionsInjected: m.corrInjected,
 		CorruptionsDigest:   m.corrDigest,
@@ -403,6 +446,10 @@ func MergeSnapshots(snaps ...Snapshot) Snapshot {
 		m.Retries += s.Retries
 		m.Hedges += s.Hedges
 		m.HedgesWon += s.HedgesWon
+		m.Executions += s.Executions
+		m.IdemReplays += s.IdemReplays
+		m.IdemCoalesced += s.IdemCoalesced
+		m.IdemEntries += s.IdemEntries
 		m.Breaker.Opened += s.Breaker.Opened
 		m.Breaker.HalfOpened += s.Breaker.HalfOpened
 		m.Breaker.Closed += s.Breaker.Closed

@@ -32,10 +32,14 @@ package serve
 import (
 	"container/list"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -107,6 +111,15 @@ type Config struct {
 	// it (admission falls back to the bare bounded queue).
 	Breaker   resilience.BreakerConfig
 	NoBreaker bool
+
+	// IdempotencyWindow bounds the completed-result replay window behind
+	// Query.IdempotencyKey: a keyed resubmission whose original completed
+	// within the window replays the stored result bitwise-identically
+	// instead of re-executing the plan, and a keyed submission racing its
+	// own in-flight duplicate coalesces onto it. Zero enables the default
+	// (1024 entries); negative disables replay suppression entirely.
+	// Queries without a key are never deduplicated.
+	IdempotencyWindow int
 }
 
 func (c Config) withDefaults() Config {
@@ -190,6 +203,20 @@ type Query struct {
 	// Probe, when non-nil, runs at the start of every execution attempt
 	// (chaos/fault testing; see Probe).
 	Probe Probe
+	// IdempotencyKey deduplicates retried submissions: two Do calls with
+	// the same non-empty key within the server's idempotency window
+	// execute the plan at most once — the second replays the first's
+	// result (or coalesces onto it while in flight). The gateway tier
+	// stamps its request id here so a wire retry after a lost response
+	// cannot re-execute (and re-charge) the plan. Empty disables
+	// deduplication for this query.
+	IdempotencyKey string
+	// Algorithm is wire metadata: the workload name the query was built
+	// from (empty for raw-script submissions). The serving path ignores it
+	// — Script is what executes — but a remote transport re-submitting
+	// this query over HTTP needs it to rebuild the same input bindings on
+	// the far side.
+	Algorithm string
 }
 
 // NewQuery returns a Query with the library defaults: adaptive strategy,
@@ -248,6 +275,83 @@ type QueryResult struct {
 	SelectedKeys []string
 	// Trace is the query's span recorder (nil unless Query.Trace).
 	Trace *trace.Recorder
+	// ResultHash is the FNV-64a fingerprint of Values — names sorted,
+	// dimensions, and the bit pattern of every cell — so two results hash
+	// equal iff they are bitwise identical. A replayed result carries the
+	// original's hash; a remote result carries the hash computed by the
+	// shard that executed the plan.
+	ResultHash uint64
+	// Replayed marks a result served from the idempotency window (or a
+	// coalesced duplicate of an in-flight leader) rather than a fresh
+	// execution.
+	Replayed bool
+	// Summaries describes the result variables when Values could not ship
+	// — a remote shard returns shapes and norms over the wire, not cells.
+	// Local executions leave it nil (Values carries everything).
+	Summaries map[string]ValueSummary
+}
+
+// ValueSummary reports a result variable without shipping its cells.
+type ValueSummary struct {
+	Rows      int     `json:"rows"`
+	Cols      int     `json:"cols"`
+	Frobenius float64 `json:"frobenius_norm"`
+}
+
+// MarshalJSON encodes a non-finite norm as a string: encoding/json
+// rejects NaN/Inf outright, and a diverged solve's summary must still
+// cross the wire rather than kill the whole response with a 500.
+func (v ValueSummary) MarshalJSON() ([]byte, error) {
+	type wire struct {
+		Rows      int         `json:"rows"`
+		Cols      int         `json:"cols"`
+		Frobenius interface{} `json:"frobenius_norm"`
+	}
+	w := wire{Rows: v.Rows, Cols: v.Cols, Frobenius: v.Frobenius}
+	switch {
+	case math.IsNaN(v.Frobenius):
+		w.Frobenius = "NaN"
+	case math.IsInf(v.Frobenius, 1):
+		w.Frobenius = "+Inf"
+	case math.IsInf(v.Frobenius, -1):
+		w.Frobenius = "-Inf"
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON accepts both the numeric and the string-encoded
+// non-finite forms of the norm.
+func (v *ValueSummary) UnmarshalJSON(b []byte) error {
+	var w struct {
+		Rows      int             `json:"rows"`
+		Cols      int             `json:"cols"`
+		Frobenius json.RawMessage `json:"frobenius_norm"`
+	}
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	v.Rows, v.Cols, v.Frobenius = w.Rows, w.Cols, 0
+	if len(w.Frobenius) == 0 {
+		return nil
+	}
+	if err := json.Unmarshal(w.Frobenius, &v.Frobenius); err == nil {
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(w.Frobenius, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "NaN":
+		v.Frobenius = math.NaN()
+	case "+Inf", "Inf":
+		v.Frobenius = math.Inf(1)
+	case "-Inf":
+		v.Frobenius = math.Inf(-1)
+	default:
+		return fmt.Errorf("serve: unrecognized frobenius_norm %q", s)
+	}
+	return nil
 }
 
 type jobOut struct {
@@ -290,6 +394,7 @@ type Server struct {
 	plans   *planCache
 	inter   *interCache
 	batches *batcher
+	idem    *idemWindow
 }
 
 // New starts a server with cfg.Workers executor goroutines.
@@ -312,6 +417,12 @@ func New(cfg Config) *Server {
 	}
 	if cfg.BatchWindow > 0 {
 		s.batches = newBatcher(cfg.BatchWindow)
+	}
+	if idemCap := cfg.IdempotencyWindow; idemCap >= 0 {
+		if idemCap == 0 {
+			idemCap = defaultIdemEntries
+		}
+		s.idem = newIdemWindow(idemCap)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -349,10 +460,45 @@ func overloadedErr(id uint64, retryAfter time.Duration, cause error) error {
 // wrapping ErrOverloaded. When ctx ends first, Do returns a Canceled-class
 // error wrapping engine.ErrCanceled and the in-flight work stops promptly
 // on its own (the worker shares ctx).
+//
+// A query carrying an IdempotencyKey first consults the replay window:
+// a completed duplicate replays the stored result without executing (or
+// admitting — a replay is free and succeeds even while draining), and a
+// duplicate racing its in-flight original coalesces onto the leader's
+// outcome. Only the leader's failure propagates to coalesced waiters;
+// after a failure the key is immediately retryable with a fresh execution.
 func (s *Server) Do(ctx context.Context, q Query) (*QueryResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if s.idem == nil || q.IdempotencyKey == "" {
+		return s.submit(ctx, q)
+	}
+	e, role := s.idem.begin(q.IdempotencyKey)
+	switch role {
+	case idemReplay:
+		s.metrics.idemReplayed()
+		return replayOf(e), nil
+	case idemWaiter:
+		s.metrics.idemCoalesced()
+		select {
+		case <-e.done:
+			if e.err != nil {
+				return nil, e.err
+			}
+			return replayOf(e), nil
+		case <-ctx.Done():
+			return nil, canceledErr(s.nextID.Add(1), "idem-wait", ctx.Err())
+		}
+	}
+	res, err := s.submit(ctx, q)
+	s.idem.settle(e, res, err)
+	return res, err
+}
+
+// submit is the admission-and-wait path of Do, below the idempotency
+// window.
+func (s *Server) submit(ctx context.Context, q Query) (*QueryResult, error) {
 	id := s.nextID.Add(1)
 	j := &job{id: id, ctx: ctx, q: q, out: make(chan jobOut, 1)}
 	s.mu.Lock()
@@ -737,6 +883,7 @@ func (s *Server) execute(ctx context.Context, j *job) (out *QueryResult, err err
 			s.metrics.mqoOverlap(n)
 		}
 	}
+	s.metrics.executed()
 	res, err := engine.RunWithOptions(ctx, compiled, q.Inputs, rec, engine.RunOptions{
 		MaxIter:       q.MaxIterations,
 		Faults:        q.Faults,
@@ -764,6 +911,7 @@ func (s *Server) execute(ctx context.Context, j *job) (out *QueryResult, err err
 	for name, v := range res.Env {
 		out.Values[name] = v.Data()
 	}
+	out.ResultHash = HashValues(out.Values)
 	if compiled.Decision != nil {
 		out.SelectedKeys = compiled.Decision.Keys()
 	}
@@ -851,11 +999,47 @@ func clusterSig(c cluster.Config) string {
 		c.NoLocalMode, c.DenseOnly)
 }
 
+// HashValues fingerprints materialized result values bitwise: variable
+// names sorted, dimensions, and the bit pattern of every cell through
+// FNV-64a. Two value sets hash equal iff they are bitwise identical —
+// the identity the idempotency replay window and the remote transport's
+// end-to-end chaos assertions are built on.
+func HashValues(values map[string]*matrix.Matrix) uint64 {
+	h := fnv.New64a()
+	names := make([]string, 0, len(values))
+	for name := range values {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, name := range names {
+		h.Write([]byte(name))
+		m := values[name]
+		put(uint64(m.Rows()))
+		put(uint64(m.Cols()))
+		for i := 0; i < m.Rows(); i++ {
+			for j := 0; j < m.Cols(); j++ {
+				put(math.Float64bits(m.At(i, j)))
+			}
+		}
+	}
+	return h.Sum64()
+}
+
 // Metrics returns a point-in-time snapshot of the server's aggregate
 // metrics, resilience counters included.
 func (s *Server) Metrics() Snapshot {
 	snap := s.metrics.snapshot()
 	snap.Shard = s.cfg.ShardID
+	if s.idem != nil {
+		snap.IdemEntries = s.idem.entries()
+	}
 	if s.plans != nil {
 		snap.PlanEntries = s.plans.len()
 	}
